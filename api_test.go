@@ -1,0 +1,111 @@
+package hprefetch
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpt() *Options {
+	return &Options{
+		WarmInstructions:    800_000,
+		MeasureInstructions: 1_200_000,
+		Workloads:           []string{"gin"},
+	}
+}
+
+func TestSimulateBaselineAndHier(t *testing.T) {
+	base, err := Simulate("gin", FDIP, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.IPC <= 0 || base.SpeedupOverFDIP != 0 {
+		t.Errorf("baseline stats wrong: %+v", base)
+	}
+	hier, err := Simulate("gin", Hierarchical, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.IPC <= 0 {
+		t.Error("zero IPC")
+	}
+	if hier.AvgPrefetchDistance <= 0 || hier.CoverageL1 <= 0 {
+		t.Errorf("prefetch metrics missing: %+v", hier)
+	}
+}
+
+func TestSimulateUnknownWorkload(t *testing.T) {
+	if _, err := Simulate("nope", FDIP, quickOpt()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunExperimentFig1(t *testing.T) {
+	tbl, err := RunExperiment("fig1", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "Figure 1" || len(tbl.Rows) == 0 {
+		t.Errorf("bad table: %+v", tbl)
+	}
+	if !strings.Contains(tbl.String(), "Figure 1") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestExperimentIDsCoverPaper(t *testing.T) {
+	ids := ExperimentIDs()
+	want := map[string]bool{"fig1": true, "fig9": true, "fig17": true, "table2": true, "table4": true}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for w := range want {
+		if !seen[w] {
+			t.Errorf("experiment %s missing", w)
+		}
+	}
+}
+
+func TestAnalyzeWorkload(t *testing.T) {
+	r, err := AnalyzeWorkload("gin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalFunctions < 10_000 {
+		t.Errorf("gin should be a large binary, got %d functions", r.TotalFunctions)
+	}
+	if r.Entries == 0 || r.EntryFraction <= 0 || r.EntryFraction > 0.2 {
+		t.Errorf("entry stats implausible: %+v", r)
+	}
+	if r.TaggedInstructions < r.Entries {
+		t.Error("every entry has at least its return tagged")
+	}
+	if r.ThresholdBytes != 200<<10 {
+		t.Errorf("threshold %d, want the paper's 200KB", r.ThresholdBytes)
+	}
+}
+
+func TestWorkloadsAndSchemes(t *testing.T) {
+	if len(Workloads()) != 11 {
+		t.Errorf("paper evaluates 11 workloads, got %d", len(Workloads()))
+	}
+	if len(Schemes()) != 5 {
+		t.Errorf("5 schemes expected, got %d", len(Schemes()))
+	}
+	if MachineDescription() == "" {
+		t.Error("empty machine description")
+	}
+}
+
+func TestNilOptions(t *testing.T) {
+	// nil options must fall back to defaults without panicking; use the
+	// cheapest call path (analysis needs no simulation).
+	if _, err := AnalyzeWorkload("gorm"); err != nil {
+		t.Fatal(err)
+	}
+	var o *Options
+	rc := o.runConfig()
+	if rc.MeasureInstr == 0 {
+		t.Error("nil options produced empty config")
+	}
+}

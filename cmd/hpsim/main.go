@@ -1,0 +1,88 @@
+// Command hpsim runs the reproduction's experiments: one simulation, one
+// paper figure/table, or the full evaluation.
+//
+// Usage:
+//
+//	hpsim -experiment fig9                 # regenerate one figure
+//	hpsim -experiment all                  # the whole evaluation
+//	hpsim -workload tidb-tpcc -scheme Hierarchical
+//	hpsim -experiment fig9 -quick          # fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hprefetch"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id ("+strings.Join(hprefetch.ExperimentIDs(), ", ")+") or 'all'")
+		workload   = flag.String("workload", "", "single-run mode: workload name ("+strings.Join(hprefetch.Workloads(), ", ")+")")
+		scheme     = flag.String("scheme", "Hierarchical", "single-run mode: FDIP, EFetch, MANA, EIP, Hierarchical, PerfectL1I")
+		warm       = flag.Uint64("warm", 0, "warmup instructions (0 = default)")
+		measure    = flag.Uint64("measure", 0, "measured instructions (0 = default)")
+		quick      = flag.Bool("quick", false, "fast smoke configuration")
+		only       = flag.String("workloads", "", "comma-separated workload subset for experiments")
+		format     = flag.String("format", "text", "experiment output: text or csv")
+	)
+	flag.Parse()
+
+	opt := &hprefetch.Options{
+		WarmInstructions:    *warm,
+		MeasureInstructions: *measure,
+		Quick:               *quick,
+	}
+	if *only != "" {
+		opt.Workloads = strings.Split(*only, ",")
+	}
+
+	switch {
+	case *workload != "":
+		st, err := hprefetch.Simulate(*workload, hprefetch.Scheme(*scheme), opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload:  %s\nscheme:    %s\nmachine:   %s\n", st.Workload, st.Scheme, hprefetch.MachineDescription())
+		fmt.Printf("IPC:       %.3f  (%+.1f%% vs FDIP)\n", st.IPC, st.SpeedupOverFDIP*100)
+		fmt.Printf("branches:  %.2f MPKI   L1-I clean misses: %.2f MPKI\n", st.BranchMPKI, st.L1IMPKI)
+		if st.Scheme != hprefetch.FDIP && st.Scheme != hprefetch.PerfectL1I {
+			fmt.Printf("prefetch:  acc %.1f%%  covL1 %.1f%%  covL2 %.1f%%  late %.1f%%  dist %.1f blocks\n",
+				st.PrefetchAccuracy*100, st.CoverageL1*100, st.CoverageL2*100,
+				st.LateFraction*100, st.AvgPrefetchDistance)
+		}
+	case *experiment == "all":
+		tables, err := hprefetch.RunAllExperiments(opt)
+		for _, t := range tables {
+			emit(t, *format)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	case *experiment != "":
+		t, err := hprefetch.RunExperiment(*experiment, opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t, *format)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(t *hprefetch.Table, format string) {
+	if format == "csv" {
+		fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+		return
+	}
+	t.Fprint(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpsim:", err)
+	os.Exit(1)
+}

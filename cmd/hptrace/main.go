@@ -1,0 +1,43 @@
+// Command hptrace inspects a workload's dynamic instruction stream: stage
+// footprints (the Figure 1 view), request lengths, and branch mix —
+// useful when tuning workload presets or validating the execution engine.
+//
+// Usage:
+//
+//	hptrace -workload tidb-tpcc -instructions 4000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hprefetch"
+)
+
+func main() {
+	workload := flag.String("workload", "tidb-tpcc", "workload to trace")
+	instr := flag.Uint64("instructions", 4_000_000, "instructions to trace")
+	flag.Parse()
+
+	t, err := hprefetch.RunExperiment("fig1", &hprefetch.Options{
+		MeasureInstructions: *instr,
+		Workloads:           []string{*workload},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hptrace:", err)
+		os.Exit(1)
+	}
+	t.Fprint(os.Stdout)
+
+	st, err := hprefetch.Simulate(*workload, hprefetch.FDIP, &hprefetch.Options{
+		WarmInstructions:    *instr / 4,
+		MeasureInstructions: *instr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hptrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("baseline (FDIP): IPC %.3f, %.2f branch MPKI, %.2f clean L1-I MPKI over %d instructions\n",
+		st.IPC, st.BranchMPKI, st.L1IMPKI, st.Instructions)
+}

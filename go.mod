@@ -1,0 +1,3 @@
+module hprefetch
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package hprefetch is a from-scratch Go reproduction of "Hierarchical
+// Prefetching: A Software-Hardware Instruction Prefetcher for Server
+// Applications" (ASPLOS 2025). It bundles:
+//
+//   - the Hierarchical Prefetcher itself (Bundle identification at link
+//     time, record-and-replay hardware with a 1.94KB on-chip budget);
+//   - the substrates it needs — a synthetic server-application generator,
+//     an ELF-like binary format with linker and loader, an execution
+//     engine, and a trace-driven decoupled-FDIP front-end simulator with
+//     the paper's Table 1 memory hierarchy;
+//   - the baselines it is compared against (MANA, EFetch, EIP); and
+//   - a harness regenerating every table and figure of the evaluation.
+//
+// This package is the public facade: simulate a workload under a scheme,
+// run a named experiment, or inspect a workload's static Bundle analysis.
+// The heavy lifting lives in internal packages; see DESIGN.md for the map.
+package hprefetch
+
+import (
+	"fmt"
+	"io"
+
+	"hprefetch/internal/harness"
+	"hprefetch/internal/sim"
+	"hprefetch/internal/workloads"
+)
+
+// Scheme selects the prefetching configuration under evaluation. All
+// schemes run on top of the FDIP front-end, as in the paper.
+type Scheme string
+
+// The available schemes.
+const (
+	// FDIP is the fetch-directed-instruction-prefetching baseline.
+	FDIP Scheme = "FDIP"
+	// EFetch is the caller-callee baseline (PACT 2014).
+	EFetch Scheme = "EFetch"
+	// MANA is the temporal-streaming baseline (IEEE TC 2022).
+	MANA Scheme = "MANA"
+	// EIP is the entangling baseline (ISCA 2021, IPC-1 winner).
+	EIP Scheme = "EIP"
+	// Hierarchical is the paper's contribution.
+	Hierarchical Scheme = "Hierarchical"
+	// PerfectL1I is the all-hits upper bound.
+	PerfectL1I Scheme = "PerfectL1I"
+)
+
+// Schemes lists the evaluated schemes in figure order.
+func Schemes() []Scheme {
+	return []Scheme{FDIP, EFetch, MANA, EIP, Hierarchical}
+}
+
+// Workloads lists the eleven server workloads of §6.2.
+func Workloads() []string { return workloads.Names() }
+
+// Options tunes a simulation or experiment run. The zero value (or nil)
+// uses the paper-faithful defaults.
+type Options struct {
+	// WarmInstructions run before measurement begins (default 4M).
+	WarmInstructions uint64
+	// MeasureInstructions are simulated with statistics on (default 8M).
+	MeasureInstructions uint64
+	// Workloads restricts experiments to a subset (default: all eleven).
+	Workloads []string
+	// Quick trades precision for speed: shorter runs and a
+	// representative workload subset. Good for smoke tests.
+	Quick bool
+}
+
+// runConfig converts Options into the harness configuration.
+func (o *Options) runConfig() harness.RunConfig {
+	rc := harness.DefaultRunConfig()
+	if o == nil {
+		return rc
+	}
+	if o.Quick {
+		rc = harness.QuickRunConfig()
+	}
+	if o.WarmInstructions > 0 {
+		rc.WarmInstr = o.WarmInstructions
+	}
+	if o.MeasureInstructions > 0 {
+		rc.MeasureInstr = o.MeasureInstructions
+	}
+	if len(o.Workloads) > 0 {
+		rc.Workloads = o.Workloads
+	}
+	return rc
+}
+
+// RunStats summarises one simulation.
+type RunStats struct {
+	// Workload and Scheme echo the run inputs.
+	Workload string
+	Scheme   Scheme
+	// IPC is instructions per cycle.
+	IPC float64
+	// SpeedupOverFDIP is IPC relative to the FDIP baseline of the same
+	// workload and options (0 for the baseline itself).
+	SpeedupOverFDIP float64
+	// Instructions and Cycles are the measured totals.
+	Instructions uint64
+	Cycles       float64
+	// PrefetchAccuracy, CoverageL1, CoverageL2, LateFraction and
+	// AvgPrefetchDistance describe the evaluated prefetcher (zero for
+	// FDIP/PerfectL1I).
+	PrefetchAccuracy    float64
+	CoverageL1          float64
+	CoverageL2          float64
+	LateFraction        float64
+	AvgPrefetchDistance float64
+	// BranchMPKI and L1IMPKI are mispredictions and clean L1-I misses
+	// per kilo-instruction.
+	BranchMPKI float64
+	L1IMPKI    float64
+}
+
+// Simulate runs one workload under one scheme and returns its metrics.
+func Simulate(workload string, scheme Scheme, opt *Options) (RunStats, error) {
+	rc := opt.runConfig()
+	r, err := harness.Run(workload, harness.Scheme(scheme), rc)
+	if err != nil {
+		return RunStats{}, err
+	}
+	out := RunStats{
+		Workload:            workload,
+		Scheme:              scheme,
+		IPC:                 r.Stats.IPC(),
+		Instructions:        r.Stats.Instructions,
+		Cycles:              r.Stats.Cycles(),
+		PrefetchAccuracy:    r.Stats.PFAccuracy(),
+		CoverageL1:          r.Stats.PFCoverageL1(),
+		CoverageL2:          r.Stats.PFCoverageL2(),
+		LateFraction:        r.Stats.PFLateFraction(),
+		AvgPrefetchDistance: r.Stats.PFAvgDistance(),
+		BranchMPKI:          r.Stats.MPKI(),
+		L1IMPKI:             r.Stats.L1IMPKI(),
+	}
+	if scheme != FDIP {
+		sp, err := harness.Speedup(workload, harness.Scheme(scheme), rc)
+		if err != nil {
+			return RunStats{}, err
+		}
+		out.SpeedupOverFDIP = sp
+	}
+	return out, nil
+}
+
+// Table is a rendered experiment result (one paper figure or table).
+type Table struct {
+	// ID is the paper artifact ("Figure 9", "Table 2", ...).
+	ID string
+	// Title describes the rows.
+	Title string
+	// Header and Rows hold the formatted cells.
+	Header []string
+	Rows   [][]string
+	// Notes carries the paper's reference values and any caveats.
+	Notes []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) { t.internal().Fprint(w) }
+
+// String renders the table to a string.
+func (t *Table) String() string { return t.internal().String() }
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string { return t.internal().CSV() }
+
+func (t *Table) internal() *harness.Table {
+	return &harness.Table{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+}
+
+func fromInternal(t *harness.Table) *Table {
+	return &Table{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+}
+
+// ExperimentIDs lists the experiments RunExperiment accepts, in paper
+// order: fig1, fig2a-c, fig3, fig4, fig9-fig17, table2-table4.
+func ExperimentIDs() []string { return harness.ExperimentIDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, opt *Options) (*Table, error) {
+	tbl, err := harness.Experiment(id, opt.runConfig())
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(tbl), nil
+}
+
+// RunAllExperiments regenerates every experiment in paper order.
+func RunAllExperiments(opt *Options) ([]*Table, error) {
+	tbls, err := harness.AllExperiments(opt.runConfig())
+	out := make([]*Table, len(tbls))
+	for i, t := range tbls {
+		out[i] = fromInternal(t)
+	}
+	return out, err
+}
+
+// BundleReport summarises a workload's static Bundle identification —
+// the link-time software pass of §5.1-5.2.
+type BundleReport struct {
+	// Workload names the analysed binary.
+	Workload string
+	// TotalFunctions is the static function count.
+	TotalFunctions int
+	// Entries is the number of identified Bundle entry functions.
+	Entries int
+	// EntryFraction is Entries / TotalFunctions.
+	EntryFraction float64
+	// TaggedInstructions is how many call/return instructions the
+	// loader tags.
+	TaggedInstructions int
+	// ThresholdBytes is the divergence threshold used (paper: 200KB).
+	ThresholdBytes uint64
+	// TextBytes is the linked text-segment size.
+	TextBytes uint64
+}
+
+// AnalyzeWorkload generates, links and statically analyses a workload,
+// returning its Bundle identification report.
+func AnalyzeWorkload(name string) (BundleReport, error) {
+	b, err := workloads.Build(name)
+	if err != nil {
+		return BundleReport{}, err
+	}
+	total := b.Loaded.Prog.NumFuncs()
+	entries := len(b.Linked.Analysis.Entries)
+	return BundleReport{
+		Workload:           name,
+		TotalFunctions:     total,
+		Entries:            entries,
+		EntryFraction:      float64(entries) / float64(total),
+		TaggedInstructions: b.Loaded.Tags.Len(),
+		ThresholdBytes:     b.Loaded.Threshold,
+		TextBytes:          b.Loaded.Prog.TextSize,
+	}, nil
+}
+
+// MachineDescription returns a human-readable summary of the simulated
+// core and memory hierarchy (Table 1 of the paper).
+func MachineDescription() string {
+	p := sim.DefaultParams()
+	return fmt.Sprintf(
+		"fetch %d-wide, FTQ %d, BTB %d-entry/%d-way, L1-I %dKB/%d-way (%d MSHRs), "+
+			"L2 %dKB, LLC %dMB, mem %d cycles, I-TLB %d entries",
+		p.FetchWidth, p.FTQEntries, p.BP.BTBEntries, p.BP.BTBWays,
+		p.L1ISizeKB(), p.L1IWays, p.MSHRs,
+		p.L2Sets*p.L2Ways*64/1024, p.LLCSets*p.LLCWays*64/1024/1024,
+		p.MemLatency, p.ITLBEntries)
+}

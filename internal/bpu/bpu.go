@@ -1,0 +1,299 @@
+// Package bpu implements the branch prediction unit of the simulated core
+// (Table 1): a set-associative BTB (optionally infinite, for the Figure 14
+// study), a gshare-style global-history direction predictor standing in
+// for L-TAGE, an ITTAGE-style tagged indirect-target predictor, and a
+// return address stack. The decoupled front-end keeps two history/RAS
+// views (speculative at the prediction cursor, architectural at retire);
+// this package exposes the state needed for that split.
+package bpu
+
+import (
+	"hprefetch/internal/isa"
+)
+
+// Config sizes the prediction structures.
+type Config struct {
+	// BTBEntries and BTBWays size the branch target buffer
+	// (paper: 8K entries, 8-way).
+	BTBEntries, BTBWays int
+	// BTBInfinite disables BTB capacity misses (Figure 14 study).
+	BTBInfinite bool
+	// GshareBits is log2 of the direction-counter table size.
+	GshareBits int
+	// HistoryBits is the global-history length folded into the index.
+	HistoryBits int
+	// IndirectEntries sizes the indirect-target table.
+	IndirectEntries int
+	// RASDepth is the return address stack depth.
+	RASDepth int
+}
+
+// DefaultConfig mirrors the paper's front-end parameters.
+func DefaultConfig() Config {
+	return Config{
+		BTBEntries:      8192,
+		BTBWays:         8,
+		GshareBits:      17, // 128K 2-bit counters = 32KB, L-TAGE class budget
+		HistoryBits:     16,
+		IndirectEntries: 4096,
+		RASDepth:        64,
+	}
+}
+
+// Unit is one core's branch prediction state.
+type Unit struct {
+	cfg Config
+
+	// BTB: sets x ways of (tag, target, lru).
+	btbSets  int
+	btbTag   []uint64
+	btbTgt   []isa.Addr
+	btbValid []bool
+	btbLRU   []uint8
+	btbInf   map[isa.Addr]isa.Addr
+
+	// Direction predictor: 2-bit counters indexed by pc ^ history.
+	dir     []uint8
+	dirMask uint64
+
+	// Indirect: tagged target entries indexed by pc ^ history.
+	indTag []uint64
+	indTgt []isa.Addr
+	indCnt []uint8
+	indMsk uint64
+
+	histMask uint64
+}
+
+// New builds a prediction unit.
+func New(cfg Config) *Unit {
+	u := &Unit{cfg: cfg}
+	if cfg.BTBInfinite {
+		u.btbInf = make(map[isa.Addr]isa.Addr, 1<<16)
+	} else {
+		u.btbSets = cfg.BTBEntries / cfg.BTBWays
+		n := u.btbSets * cfg.BTBWays
+		u.btbTag = make([]uint64, n)
+		u.btbTgt = make([]isa.Addr, n)
+		u.btbValid = make([]bool, n)
+		u.btbLRU = make([]uint8, n)
+	}
+	u.dir = make([]uint8, 1<<cfg.GshareBits)
+	for i := range u.dir {
+		u.dir[i] = 2 // weakly taken
+	}
+	u.dirMask = uint64(len(u.dir) - 1)
+	u.indTag = make([]uint64, cfg.IndirectEntries)
+	u.indTgt = make([]isa.Addr, cfg.IndirectEntries)
+	u.indCnt = make([]uint8, cfg.IndirectEntries)
+	u.indMsk = uint64(cfg.IndirectEntries - 1)
+	u.histMask = (1 << cfg.HistoryBits) - 1
+	return u
+}
+
+// History is a global branch-history register. The front-end maintains a
+// speculative copy at the prediction cursor and an architectural copy at
+// retire, restoring the former from the latter on pipeline flushes.
+type History uint64
+
+// Update shifts a branch outcome into the history.
+func (h History) Update(taken bool) History {
+	h <<= 1
+	if taken {
+		h |= 1
+	}
+	return h
+}
+
+// UpdatePath folds target bits into the history for indirect correlation.
+func (h History) UpdatePath(target isa.Addr) History {
+	return (h << 2) ^ History(uint64(target)>>isa.BlockBits)
+}
+
+// dirIndex folds pc and history into the counter table index.
+func (u *Unit) dirIndex(pc isa.Addr, h History) uint64 {
+	p := uint64(pc) >> 2
+	hist := uint64(h) & u.histMask
+	return (p ^ (hist << 1) ^ (p >> 13)) & u.dirMask
+}
+
+// PredictDir predicts the direction of a conditional branch.
+func (u *Unit) PredictDir(pc isa.Addr, h History) bool {
+	return u.dir[u.dirIndex(pc, h)] >= 2
+}
+
+// TrainDir updates the direction counters with the resolved outcome.
+func (u *Unit) TrainDir(pc isa.Addr, h History, taken bool) {
+	i := u.dirIndex(pc, h)
+	c := u.dir[i]
+	if taken {
+		if c < 3 {
+			u.dir[i] = c + 1
+		}
+	} else if c > 0 {
+		u.dir[i] = c - 1
+	}
+}
+
+// BTBLookup returns the predicted target for a taken direct branch, if
+// the BTB holds it. Without a hit, a decoupled front-end cannot follow a
+// taken branch — the FDIP limitation at the heart of the paper's §2.1.
+func (u *Unit) BTBLookup(pc isa.Addr) (isa.Addr, bool) {
+	if u.btbInf != nil {
+		t, ok := u.btbInf[pc]
+		return t, ok
+	}
+	set := u.btbSet(pc)
+	base := set * u.cfg.BTBWays
+	tag := u.btbTagOf(pc)
+	for w := 0; w < u.cfg.BTBWays; w++ {
+		i := base + w
+		if u.btbValid[i] && u.btbTag[i] == tag {
+			u.btbTouch(base, w)
+			return u.btbTgt[i], true
+		}
+	}
+	return 0, false
+}
+
+// BTBInsert records a resolved taken-branch target.
+func (u *Unit) BTBInsert(pc, target isa.Addr) {
+	if u.btbInf != nil {
+		u.btbInf[pc] = target
+		return
+	}
+	set := u.btbSet(pc)
+	base := set * u.cfg.BTBWays
+	tag := u.btbTagOf(pc)
+	victim := 0
+	for w := 0; w < u.cfg.BTBWays; w++ {
+		i := base + w
+		if u.btbValid[i] && u.btbTag[i] == tag {
+			u.btbTgt[i] = target
+			u.btbTouch(base, w)
+			return
+		}
+		if u.btbLRU[i] > u.btbLRU[base+victim] {
+			victim = w
+		}
+	}
+	for w := 0; w < u.cfg.BTBWays; w++ {
+		if !u.btbValid[base+w] {
+			victim = w
+			break
+		}
+	}
+	i := base + victim
+	if !u.btbValid[i] {
+		// Fresh fills count as oldest so LRU aging stays a permutation.
+		u.btbLRU[i] = 255
+	}
+	u.btbTag[i] = tag
+	u.btbTgt[i] = target
+	u.btbValid[i] = true
+	u.btbTouch(base, victim)
+}
+
+func (u *Unit) btbSet(pc isa.Addr) int {
+	p := uint64(pc) >> 2
+	return int((p ^ (p >> 11)) % uint64(u.btbSets))
+}
+
+func (u *Unit) btbTagOf(pc isa.Addr) uint64 { return uint64(pc) >> 2 }
+
+// btbTouch maintains per-set LRU ordering: the touched way gets age 0,
+// everyone younger ages by one.
+func (u *Unit) btbTouch(base, way int) {
+	old := u.btbLRU[base+way]
+	for w := 0; w < u.cfg.BTBWays; w++ {
+		if u.btbLRU[base+w] < old {
+			u.btbLRU[base+w]++
+		}
+	}
+	u.btbLRU[base+way] = 0
+}
+
+// PredictIndirect predicts an indirect branch target using path history.
+func (u *Unit) PredictIndirect(pc isa.Addr, h History) (isa.Addr, bool) {
+	i := u.indIndex(pc, h)
+	if u.indTag[i] == u.indTagOf(pc) && u.indCnt[i] > 0 {
+		return u.indTgt[i], true
+	}
+	return 0, false
+}
+
+// TrainIndirect updates the indirect predictor with a resolved target.
+func (u *Unit) TrainIndirect(pc isa.Addr, h History, target isa.Addr) {
+	i := u.indIndex(pc, h)
+	tag := u.indTagOf(pc)
+	if u.indTag[i] == tag && u.indTgt[i] == target {
+		if u.indCnt[i] < 3 {
+			u.indCnt[i]++
+		}
+		return
+	}
+	if u.indCnt[i] > 0 {
+		u.indCnt[i]--
+		return
+	}
+	u.indTag[i] = tag
+	u.indTgt[i] = target
+	u.indCnt[i] = 1
+}
+
+func (u *Unit) indIndex(pc isa.Addr, h History) uint64 {
+	p := uint64(pc) >> 2
+	return (p ^ uint64(h)<<2 ^ (p >> 9)) & u.indMsk
+}
+
+func (u *Unit) indTagOf(pc isa.Addr) uint64 { return uint64(pc) >> 2 }
+
+// RAS is a fixed-depth return address stack. Overflow wraps and silently
+// clobbers the oldest entries, as hardware stacks do.
+type RAS struct {
+	buf []isa.Addr
+	top int // index of the next push slot
+	len int
+}
+
+// NewRAS builds a stack of the given depth.
+func NewRAS(depth int) *RAS {
+	return &RAS{buf: make([]isa.Addr, depth)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(ret isa.Addr) {
+	r.buf[r.top] = ret
+	r.top = (r.top + 1) % len(r.buf)
+	if r.len < len(r.buf) {
+		r.len++
+	}
+}
+
+// Pop predicts a return target; ok is false when the stack is empty.
+func (r *RAS) Pop() (isa.Addr, bool) {
+	if r.len == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.buf)) % len(r.buf)
+	r.len--
+	return r.buf[r.top], true
+}
+
+// Peek returns the top entry without popping it.
+func (r *RAS) Peek() (isa.Addr, bool) {
+	if r.len == 0 {
+		return 0, false
+	}
+	return r.buf[(r.top-1+len(r.buf))%len(r.buf)], true
+}
+
+// CopyFrom restores this stack from another (pipeline flush repair).
+func (r *RAS) CopyFrom(o *RAS) {
+	copy(r.buf, o.buf)
+	r.top = o.top
+	r.len = o.len
+}
+
+// Depth returns the current occupancy.
+func (r *RAS) Depth() int { return r.len }

@@ -1,0 +1,293 @@
+// Package cache provides the storage structures of the simulated memory
+// hierarchy (Table 1): set-associative LRU tables used for the I-cache
+// hierarchy levels and the I-TLB, and the MSHR file that tracks in-flight
+// fills (whose residual latency is how late prefetches are detected). The
+// timing policy — who fills what, when, and at what cost — lives in the
+// simulator that composes these structures.
+package cache
+
+import (
+	"fmt"
+
+	"hprefetch/internal/isa"
+)
+
+// Origin says what caused a line to be brought in; it drives the
+// accuracy/coverage bookkeeping.
+type Origin uint8
+
+const (
+	// OriginDemand is a demand fetch fill.
+	OriginDemand Origin = iota
+	// OriginFDIP is a fill issued by the FDIP front-end.
+	OriginFDIP
+	// OriginPF is a fill issued by the evaluated prefetcher.
+	OriginPF
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginDemand:
+		return "demand"
+	case OriginFDIP:
+		return "fdip"
+	case OriginPF:
+		return "prefetch"
+	default:
+		return fmt.Sprintf("Origin(%d)", uint8(o))
+	}
+}
+
+// LineMeta is the per-line bookkeeping carried through the hierarchy.
+type LineMeta struct {
+	// Origin says who installed the line.
+	Origin Origin
+	// Used marks that a demand access hit the line after installation.
+	Used bool
+	// IssueSeq is the retired-block sequence number when the installing
+	// request was issued; the prefetch-distance metric is the delta to
+	// the first use.
+	IssueSeq uint64
+}
+
+// Config sizes one table.
+type Config struct {
+	// Name labels the table in statistics.
+	Name string
+	// Sets and Ways give the organisation; Sets must be a power of two.
+	Sets, Ways int
+}
+
+// SizeBlocks returns the capacity in entries.
+func (c Config) SizeBlocks() int { return c.Sets * c.Ways }
+
+// Table is a set-associative LRU table keyed by a 64-bit key (cache block
+// index or page number).
+type Table struct {
+	cfg   Config
+	mask  uint64
+	keys  []uint64
+	valid []bool
+	age   []uint8 // per-set LRU age; 0 = most recent
+	meta  []LineMeta
+
+	// Hits and Misses count Lookup outcomes.
+	Hits, Misses uint64
+}
+
+// New builds a table. Sets must be a power of two and Ways at least 1.
+func New(cfg Config) (*Table, error) {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: sets %d not a positive power of two", cfg.Name, cfg.Sets)
+	}
+	if cfg.Ways <= 0 || cfg.Ways > 255 {
+		return nil, fmt.Errorf("cache %s: ways %d out of range", cfg.Name, cfg.Ways)
+	}
+	n := cfg.Sets * cfg.Ways
+	return &Table{
+		cfg:   cfg,
+		mask:  uint64(cfg.Sets - 1),
+		keys:  make([]uint64, n),
+		valid: make([]bool, n),
+		age:   make([]uint8, n),
+		meta:  make([]LineMeta, n),
+	}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+func (t *Table) set(key uint64) int { return int(key & t.mask) }
+
+// Lookup probes for key; on a hit it refreshes LRU, counts the hit, and
+// returns a pointer to the line's metadata (valid until the next Insert
+// into the same set).
+func (t *Table) Lookup(key uint64) (*LineMeta, bool) {
+	base := t.set(key) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			t.touch(base, w)
+			t.Hits++
+			return &t.meta[i], true
+		}
+	}
+	t.Misses++
+	return nil, false
+}
+
+// Contains probes without touching LRU or counting statistics.
+func (t *Table) Contains(key uint64) bool {
+	base := t.set(key) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Peek returns the metadata without touching LRU or statistics.
+func (t *Table) Peek(key uint64) (*LineMeta, bool) {
+	base := t.set(key) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			return &t.meta[i], true
+		}
+	}
+	return nil, false
+}
+
+// Insert installs key with the given metadata, returning the evicted key
+// and metadata if a valid line was displaced. Inserting an existing key
+// refreshes its metadata and LRU position instead.
+func (t *Table) Insert(key uint64, meta LineMeta) (evictedKey uint64, evictedMeta LineMeta, evicted bool) {
+	base := t.set(key) * t.cfg.Ways
+	victim := 0
+	for w := 0; w < t.cfg.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			t.meta[i] = meta
+			t.touch(base, w)
+			return 0, LineMeta{}, false
+		}
+		if !t.valid[i] {
+			victim = w
+		} else if t.valid[base+victim] && t.age[i] > t.age[base+victim] {
+			victim = w
+		}
+	}
+	// Prefer an invalid way if any exists.
+	for w := 0; w < t.cfg.Ways; w++ {
+		if !t.valid[base+w] {
+			victim = w
+			break
+		}
+	}
+	i := base + victim
+	if t.valid[i] {
+		evictedKey, evictedMeta, evicted = t.keys[i], t.meta[i], true
+	} else {
+		// A fresh fill has no meaningful age yet; treat it as oldest so
+		// every other way ages correctly in touch.
+		t.age[i] = 255
+	}
+	t.keys[i] = key
+	t.valid[i] = true
+	t.meta[i] = meta
+	t.touch(base, victim)
+	return evictedKey, evictedMeta, evicted
+}
+
+// Invalidate removes key if present, returning its metadata.
+func (t *Table) Invalidate(key uint64) (LineMeta, bool) {
+	base := t.set(key) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			t.valid[i] = false
+			return t.meta[i], true
+		}
+	}
+	return LineMeta{}, false
+}
+
+// touch sets way as most-recent within its set.
+func (t *Table) touch(base, way int) {
+	old := t.age[base+way]
+	for w := 0; w < t.cfg.Ways; w++ {
+		if t.age[base+w] < old {
+			t.age[base+w]++
+		}
+	}
+	t.age[base+way] = 0
+}
+
+// Reset clears contents and statistics.
+func (t *Table) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+		t.age[i] = 0
+	}
+	t.Hits, t.Misses = 0, 0
+}
+
+// MSHR is one in-flight fill.
+type MSHR struct {
+	// Block is the cache block being filled.
+	Block isa.Block
+	// FillAt is the cycle the data arrives.
+	FillAt uint64
+	// Origin says who issued the request.
+	Origin Origin
+	// IssueSeq is the retired-block sequence number at issue.
+	IssueSeq uint64
+	// Demanded marks that a demand access hit this entry while in
+	// flight (the prefetch was late).
+	Demanded bool
+	// Level records which hierarchy level serves the fill (2, 3, 4).
+	Level uint8
+}
+
+// MSHRFile tracks in-flight fills with bounded capacity.
+type MSHRFile struct {
+	cap     int
+	entries map[isa.Block]*MSHR
+}
+
+// NewMSHRFile builds a file with the given capacity.
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{cap: capacity, entries: make(map[isa.Block]*MSHR, capacity)}
+}
+
+// Lookup returns the in-flight entry for block, if any.
+func (m *MSHRFile) Lookup(b isa.Block) (*MSHR, bool) {
+	e, ok := m.entries[b]
+	return e, ok
+}
+
+// Full reports whether no entry can be allocated.
+func (m *MSHRFile) Full() bool { return len(m.entries) >= m.cap }
+
+// Len returns the current occupancy.
+func (m *MSHRFile) Len() int { return len(m.entries) }
+
+// Add allocates an entry; it panics if the file is full or the block is
+// already tracked (callers must check first — hardware does).
+func (m *MSHRFile) Add(e *MSHR) {
+	if m.Full() {
+		panic("cache: MSHR file overflow")
+	}
+	if _, dup := m.entries[e.Block]; dup {
+		panic("cache: duplicate MSHR")
+	}
+	m.entries[e.Block] = e
+}
+
+// Remove deallocates the entry for block.
+func (m *MSHRFile) Remove(b isa.Block) { delete(m.entries, b) }
+
+// Drain calls fn for every entry whose fill has completed by now and
+// removes it. fn receives the completed entry.
+func (m *MSHRFile) Drain(now uint64, fn func(*MSHR)) {
+	for b, e := range m.entries {
+		if e.FillAt <= now {
+			delete(m.entries, b)
+			fn(e)
+		}
+	}
+}
+
+// Reset clears all entries.
+func (m *MSHRFile) Reset() { clear(m.entries) }

@@ -1,0 +1,221 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hprefetch/internal/isa"
+	"hprefetch/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Name: "x", Sets: 3, Ways: 2}); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := New(Config{Name: "x", Sets: 4, Ways: 0}); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := New(Config{Name: "x", Sets: 0, Ways: 2}); err == nil {
+		t.Error("zero sets accepted")
+	}
+}
+
+func TestLookupInsert(t *testing.T) {
+	c := MustNew(Config{Name: "l1i", Sets: 64, Ways: 8})
+	if _, ok := c.Lookup(100); ok {
+		t.Error("cold hit")
+	}
+	c.Insert(100, LineMeta{Origin: OriginFDIP})
+	m, ok := c.Lookup(100)
+	if !ok || m.Origin != OriginFDIP {
+		t.Fatalf("lookup = %v,%v", m, ok)
+	}
+	m.Used = true
+	if m2, _ := c.Peek(100); !m2.Used {
+		t.Error("metadata pointer not live")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestInsertEvictsLRU(t *testing.T) {
+	c := MustNew(Config{Name: "t", Sets: 1, Ways: 2})
+	c.Insert(1, LineMeta{})
+	c.Insert(2, LineMeta{})
+	c.Lookup(1) // make 2 the LRU
+	k, _, ev := c.Insert(3, LineMeta{})
+	if !ev || k != 2 {
+		t.Errorf("evicted %d,%v; want 2", k, ev)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := MustNew(Config{Name: "t", Sets: 1, Ways: 2})
+	c.Insert(1, LineMeta{Origin: OriginDemand})
+	c.Insert(2, LineMeta{})
+	if _, _, ev := c.Insert(1, LineMeta{Origin: OriginPF}); ev {
+		t.Error("re-insert evicted")
+	}
+	m, _ := c.Peek(1)
+	if m.Origin != OriginPF {
+		t.Error("re-insert did not refresh metadata")
+	}
+	// 1 is now MRU; inserting a third key must evict 2.
+	if k, _, ev := c.Insert(3, LineMeta{}); !ev || k != 2 {
+		t.Errorf("evicted %d,%v", k, ev)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(Config{Name: "t", Sets: 4, Ways: 2})
+	c.Insert(9, LineMeta{Origin: OriginPF})
+	m, ok := c.Invalidate(9)
+	if !ok || m.Origin != OriginPF {
+		t.Error("invalidate lost metadata")
+	}
+	if c.Contains(9) {
+		t.Error("key survives invalidate")
+	}
+	if _, ok := c.Invalidate(9); ok {
+		t.Error("double invalidate succeeded")
+	}
+}
+
+// TestLRUAgainstReference compares the table against a reference LRU
+// model over random traffic.
+func TestLRUAgainstReference(t *testing.T) {
+	const sets, ways = 4, 4
+	c := MustNew(Config{Name: "ref", Sets: sets, Ways: ways})
+	// Reference: per set, ordered slice of keys (front = MRU).
+	ref := make([][]uint64, sets)
+	rng := xrand.New(77)
+	find := func(s []uint64, k uint64) int {
+		for i, v := range s {
+			if v == k {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := 0; i < 200000; i++ {
+		key := uint64(rng.IntN(64))
+		set := int(key % sets)
+		if rng.Bool(0.6) {
+			_, hit := c.Lookup(key)
+			j := find(ref[set], key)
+			if hit != (j >= 0) {
+				t.Fatalf("step %d: hit=%v ref=%v", i, hit, j >= 0)
+			}
+			if j >= 0 {
+				k := ref[set][j]
+				ref[set] = append(ref[set][:j], ref[set][j+1:]...)
+				ref[set] = append([]uint64{k}, ref[set]...)
+			}
+		} else {
+			_, _, ev := c.Insert(key, LineMeta{})
+			j := find(ref[set], key)
+			if j >= 0 {
+				if ev {
+					t.Fatalf("step %d: refresh evicted", i)
+				}
+				k := ref[set][j]
+				ref[set] = append(ref[set][:j], ref[set][j+1:]...)
+				ref[set] = append([]uint64{k}, ref[set]...)
+			} else {
+				if len(ref[set]) == ways {
+					ref[set] = ref[set][:ways-1] // drop LRU
+				}
+				ref[set] = append([]uint64{key}, ref[set]...)
+				_ = ev
+			}
+		}
+	}
+	// Final contents must agree.
+	for set := range ref {
+		for _, k := range ref[set] {
+			if !c.Contains(k) {
+				t.Fatalf("reference key %d missing", k)
+			}
+		}
+	}
+}
+
+func TestTableProperty(t *testing.T) {
+	// After inserting any sequence, a just-inserted key is always
+	// present and total valid entries never exceed capacity.
+	f := func(seed uint64, n uint16) bool {
+		c := MustNew(Config{Name: "q", Sets: 8, Ways: 2})
+		rng := xrand.New(seed)
+		for i := 0; i < int(n%512); i++ {
+			k := uint64(rng.IntN(1000))
+			c.Insert(k, LineMeta{})
+			if !c.Contains(k) {
+				return false
+			}
+		}
+		count := 0
+		for k := uint64(0); k < 1000; k++ {
+			if c.Contains(k) {
+				count++
+			}
+		}
+		return count <= c.Config().SizeBlocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(Config{Name: "t", Sets: 2, Ways: 2})
+	c.Insert(1, LineMeta{})
+	c.Lookup(1)
+	c.Reset()
+	if c.Contains(1) || c.Hits != 0 || c.Misses != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestMSHRFile(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Add(&MSHR{Block: 1, FillAt: 10})
+	m.Add(&MSHR{Block: 2, FillAt: 20})
+	if !m.Full() || m.Len() != 2 {
+		t.Error("capacity accounting wrong")
+	}
+	if e, ok := m.Lookup(1); !ok || e.FillAt != 10 {
+		t.Error("lookup failed")
+	}
+	drained := map[isa.Block]bool{}
+	m.Drain(15, func(e *MSHR) { drained[e.Block] = true })
+	if !drained[1] || drained[2] || m.Len() != 1 {
+		t.Errorf("drain wrong: %v len=%d", drained, m.Len())
+	}
+	m.Remove(2)
+	if m.Len() != 0 {
+		t.Error("remove failed")
+	}
+}
+
+func TestMSHRPanics(t *testing.T) {
+	m := NewMSHRFile(1)
+	m.Add(&MSHR{Block: 1})
+	assertPanic(t, "overflow", func() { m.Add(&MSHR{Block: 2}) })
+	m2 := NewMSHRFile(4)
+	m2.Add(&MSHR{Block: 3})
+	assertPanic(t, "duplicate", func() { m2.Add(&MSHR{Block: 3}) })
+}
+
+func assertPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,45 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"hprefetch/internal/program"
+)
+
+func TestWriteDOT(t *testing.T) {
+	cfg := program.DefaultConfig()
+	cfg.Name = "dot-test"
+	cfg.Seed = 91
+	cfg.OrphanFuncs = 100
+	p, err := program.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromProgram(p)
+	a, err := Analyze(g, Options{Threshold: DefaultThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, g, p, a, p.Entry, 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "serve_loop", "->", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Entry highlighting appears when any entry is within the window.
+	if !strings.Contains(out, "fillcolor") && len(a.Entries) > 0 {
+		t.Log("no entries within 2 levels of root (acceptable)")
+	}
+	// Bounds respected.
+	if n := strings.Count(out, "label="); n > 50 {
+		t.Errorf("maxNodes exceeded: %d nodes", n)
+	}
+	if err := WriteDOT(&b, g, p, a, 1<<30, 2, 50); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}

@@ -1,0 +1,307 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§7). Each experiment is a function returning a Table of
+// rows matching what the paper plots; the bench suite at the repository
+// root invokes one per figure. Results are memoised per (workload,
+// scheme, parameter) within the process, so experiments that share runs
+// (most share the FDIP baseline) do not repeat them.
+package harness
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"hprefetch/internal/core"
+	"hprefetch/internal/prefetch/efetch"
+	"hprefetch/internal/prefetch/eip"
+	"hprefetch/internal/prefetch/mana"
+	"hprefetch/internal/sim"
+	"hprefetch/internal/workloads"
+)
+
+// Scheme names a prefetching configuration under evaluation.
+type Scheme string
+
+// The evaluated schemes (§6.3).
+const (
+	SchemeFDIP    Scheme = "FDIP"
+	SchemeEFetch  Scheme = "EFetch"
+	SchemeMANA    Scheme = "MANA"
+	SchemeEIP     Scheme = "EIP"
+	SchemeHier    Scheme = "Hierarchical"
+	SchemePerfect Scheme = "PerfectL1I"
+)
+
+// Schemes returns the figure-order scheme list (FDIP first).
+func Schemes() []Scheme {
+	return []Scheme{SchemeFDIP, SchemeEFetch, SchemeMANA, SchemeEIP, SchemeHier}
+}
+
+// RunConfig controls simulation length and machine parameters.
+type RunConfig struct {
+	// WarmInstr instructions run before statistics reset.
+	WarmInstr uint64
+	// MeasureInstr instructions measured after warmup.
+	MeasureInstr uint64
+	// Params is the machine configuration.
+	Params sim.Params
+	// Workloads restricts the workload set (nil = all eleven).
+	Workloads []string
+
+	// ManaLookahead / EFetchLookahead override the schemes' look-ahead
+	// depth (Figure 2 sweeps). Zero keeps defaults.
+	ManaLookahead, EFetchLookahead int
+	// HierConfig overrides the Hierarchical Prefetcher configuration
+	// (Figure 13 sweeps); nil keeps defaults.
+	HierConfig *core.Config
+	// TrackBundles turns on per-Bundle instrumentation (Table 4).
+	TrackBundles bool
+}
+
+// DefaultRunConfig mirrors the paper's warmup/measure protocol, scaled
+// to the simulator: warm up, then measure.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		WarmInstr:    4_000_000,
+		MeasureInstr: 8_000_000,
+		Params:       sim.DefaultParams(),
+	}
+}
+
+// QuickRunConfig is a scaled-down configuration for tests.
+func QuickRunConfig() RunConfig {
+	rc := DefaultRunConfig()
+	rc.WarmInstr = 1_500_000
+	rc.MeasureInstr = 2_500_000
+	rc.Workloads = []string{"gin", "tidb-tpcc"}
+	return rc
+}
+
+// workloadList resolves the configured workload set.
+func (rc *RunConfig) workloadList() []string {
+	if len(rc.Workloads) > 0 {
+		return rc.Workloads
+	}
+	return workloads.Names()
+}
+
+// Result couples run statistics with optional Bundle instrumentation.
+type Result struct {
+	Stats  *sim.Stats
+	Bundle core.Summary
+}
+
+// key builds the memoisation key for a run.
+func (rc *RunConfig) key(workload string, scheme Scheme) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%v", workload, scheme,
+		rc.WarmInstr, rc.MeasureInstr, rc.ManaLookahead, rc.EFetchLookahead, rc.TrackBundles)
+	fmt.Fprintf(h, "%+v", rc.Params)
+	if rc.HierConfig != nil {
+		fmt.Fprintf(h, "%+v", *rc.HierConfig)
+	}
+	return string(h.Sum(nil))
+}
+
+var (
+	memoMu sync.Mutex
+	memo   = map[string]*Result{}
+)
+
+// DropCache clears memoised results (tests).
+func DropCache() {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	memo = map[string]*Result{}
+}
+
+// Run simulates one (workload, scheme) pair under rc, memoised.
+func Run(workload string, scheme Scheme, rc RunConfig) (*Result, error) {
+	k := rc.key(workload, scheme)
+	memoMu.Lock()
+	if r, ok := memo[k]; ok {
+		memoMu.Unlock()
+		return r, nil
+	}
+	memoMu.Unlock()
+
+	built, err := workloads.Build(workload)
+	if err != nil {
+		return nil, err
+	}
+	prm := rc.Params
+	if scheme == SchemePerfect {
+		prm.PerfectL1I = true
+	}
+	m, err := sim.New(prm, built.NewEngine(), nil)
+	if err != nil {
+		return nil, err
+	}
+	var hier *core.Hier
+	switch scheme {
+	case SchemeFDIP, SchemePerfect:
+		// no evaluated prefetcher
+	case SchemeEFetch:
+		cfg := efetch.DefaultConfig()
+		if rc.EFetchLookahead > 0 {
+			cfg.Lookahead = rc.EFetchLookahead
+		}
+		m.SetPrefetcher(efetch.New(cfg, m))
+	case SchemeMANA:
+		cfg := mana.DefaultConfig()
+		if rc.ManaLookahead > 0 {
+			cfg.Lookahead = rc.ManaLookahead
+		}
+		m.SetPrefetcher(mana.New(cfg, m))
+	case SchemeEIP:
+		m.SetPrefetcher(eip.New(eip.DefaultConfig(), m))
+	case SchemeHier:
+		cfg := core.DefaultConfig()
+		if rc.HierConfig != nil {
+			cfg = *rc.HierConfig
+		}
+		cfg.TrackStats = cfg.TrackStats || rc.TrackBundles
+		hier = core.New(cfg, m)
+		m.SetPrefetcher(hier)
+	default:
+		return nil, fmt.Errorf("harness: unknown scheme %q", scheme)
+	}
+	m.Run(rc.WarmInstr)
+	m.ResetStats()
+	m.Run(rc.MeasureInstr)
+	res := &Result{Stats: m.Stats()}
+	if hier != nil {
+		res.Bundle = hier.BundleSummary()
+	}
+	memoMu.Lock()
+	memo[k] = res
+	memoMu.Unlock()
+	return res, nil
+}
+
+// Speedup returns scheme IPC relative to the FDIP baseline for the same
+// workload and configuration.
+func Speedup(workload string, scheme Scheme, rc RunConfig) (float64, error) {
+	base, err := Run(workload, SchemeFDIP, rc)
+	if err != nil {
+		return 0, err
+	}
+	r, err := Run(workload, scheme, rc)
+	if err != nil {
+		return 0, err
+	}
+	return r.Stats.IPC()/base.Stats.IPC() - 1, nil
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID labels the experiment ("Figure 9", "Table 2", ...).
+	ID string
+	// Title describes what the rows show.
+	Title string
+	// Header holds column names.
+	Header []string
+	// Rows holds formatted cells.
+	Rows [][]string
+	// Notes holds free-form caveats appended after the table.
+	Notes []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	line(dashes(widths))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func spd(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// sortStrings is a tiny alias used by experiments that aggregate maps.
+func sortStrings(s []string) { sort.Strings(s) }
+
+// CSV renders the table as comma-separated values (header first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+// Package isa defines the primitive machine-level vocabulary shared by the
+// whole simulator: addresses, cache-block and page geometry, branch kinds,
+// and the per-cache-block fetch event that the execution engine emits and
+// the front-end consumes.
+//
+// The simulated machine follows the paper's setup (Table 1): a 64-bit
+// address space, 64-byte cache blocks and 4KB pages, with fixed-size 4-byte
+// instructions (the paper simulates x86-64; a fixed instruction size only
+// rescales instruction counts, not block-level behaviour).
+package isa
+
+import "fmt"
+
+const (
+	// BlockBits is log2 of the cache block size.
+	BlockBits = 6
+	// BlockSize is the cache block (line) size in bytes.
+	BlockSize = 1 << BlockBits
+	// PageBits is log2 of the page size.
+	PageBits = 12
+	// PageSize is the virtual memory page size in bytes.
+	PageSize = 1 << PageBits
+	// InstrSize is the fixed encoded instruction size in bytes.
+	InstrSize = 4
+	// InstrPerBlock is how many instructions fit in one cache block.
+	InstrPerBlock = BlockSize / InstrSize
+)
+
+// Addr is a byte address in the simulated 64-bit address space.
+type Addr uint64
+
+// Block returns the cache-block index containing a.
+func (a Addr) Block() Block { return Block(a >> BlockBits) }
+
+// Page returns the page number containing a.
+func (a Addr) Page() Page { return Page(a >> PageBits) }
+
+// BlockOffset returns the byte offset of a within its cache block.
+func (a Addr) BlockOffset() uint64 { return uint64(a) & (BlockSize - 1) }
+
+// AlignBlock returns a rounded down to its cache-block base.
+func (a Addr) AlignBlock() Addr { return a &^ (BlockSize - 1) }
+
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// Block is a cache-block index (address >> BlockBits).
+type Block uint64
+
+// Addr returns the base byte address of the block.
+func (b Block) Addr() Addr { return Addr(b) << BlockBits }
+
+// Page returns the page the block belongs to.
+func (b Block) Page() Page { return Page(b >> (PageBits - BlockBits)) }
+
+func (b Block) String() string { return fmt.Sprintf("blk:%#x", uint64(b)) }
+
+// Page is a virtual page number (address >> PageBits).
+type Page uint64
+
+// BranchKind classifies the control-flow instruction that terminates a
+// fetch region, if any.
+type BranchKind uint8
+
+const (
+	// BrNone means the fetch region ends at a block boundary with
+	// sequential fall-through into the next block.
+	BrNone BranchKind = iota
+	// BrCond is a conditional direct branch.
+	BrCond
+	// BrJump is an unconditional direct jump.
+	BrJump
+	// BrCall is a direct call.
+	BrCall
+	// BrIndCall is an indirect call (e.g. through a dispatch table or
+	// interface method — the common coarse divergence mechanism in the
+	// synthetic server programs).
+	BrIndCall
+	// BrRet is a function return.
+	BrRet
+)
+
+func (k BranchKind) String() string {
+	switch k {
+	case BrNone:
+		return "none"
+	case BrCond:
+		return "cond"
+	case BrJump:
+		return "jump"
+	case BrCall:
+		return "call"
+	case BrIndCall:
+		return "indcall"
+	case BrRet:
+		return "ret"
+	default:
+		return fmt.Sprintf("BranchKind(%d)", uint8(k))
+	}
+}
+
+// IsCall reports whether the kind transfers control to a callee.
+func (k BranchKind) IsCall() bool { return k == BrCall || k == BrIndCall }
+
+// FuncID identifies a function in the synthetic program.
+type FuncID uint32
+
+// NoFunc is the invalid function ID.
+const NoFunc = FuncID(0xFFFFFFFF)
+
+// BlockEvent is one fetch region retired by the core: a run of
+// instructions within a single cache block, optionally terminated by a
+// control-flow instruction. The execution engine emits these in program
+// order; Target always holds the address of the next event's first
+// instruction (branch target, or sequential fall-through address).
+type BlockEvent struct {
+	// Addr is the address of the first instruction of the region.
+	Addr Addr
+	// NumInstr is the number of instructions retired in this region
+	// (at least 1; the region never spans a block boundary).
+	NumInstr uint16
+	// Branch is the kind of control-flow instruction ending the region.
+	Branch BranchKind
+	// Taken reports, for BrCond, whether the branch was taken.
+	Taken bool
+	// BrPC is the address of the terminating branch instruction
+	// (meaningful when Branch != BrNone).
+	BrPC Addr
+	// Target is the address of the next instruction to execute.
+	Target Addr
+	// Func is the function the region belongs to.
+	Func FuncID
+	// Tagged marks a call/return flagged by the loader as a Bundle
+	// entry point (the reserved-bit tag from the paper's §5.2).
+	Tagged bool
+}
+
+// Block returns the cache block the region's first instruction lies in.
+func (e *BlockEvent) Block() Block { return e.Addr.Block() }
+
+// EndAddr returns the address one past the last instruction of the region.
+func (e *BlockEvent) EndAddr() Addr {
+	return e.Addr + Addr(e.NumInstr)*InstrSize
+}

@@ -1,0 +1,82 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrGeometry(t *testing.T) {
+	cases := []struct {
+		addr   Addr
+		block  Block
+		page   Page
+		offset uint64
+	}{
+		{0, 0, 0, 0},
+		{63, 0, 0, 63},
+		{64, 1, 0, 0},
+		{4095, 63, 0, 63},
+		{4096, 64, 1, 0},
+		{0x40001234, 0x1000048, 0x40001, 0x34},
+	}
+	for _, c := range cases {
+		if got := c.addr.Block(); got != c.block {
+			t.Errorf("%v.Block() = %v, want %v", c.addr, got, c.block)
+		}
+		if got := c.addr.Page(); got != c.page {
+			t.Errorf("%v.Page() = %v, want %v", c.addr, got, c.page)
+		}
+		if got := c.addr.BlockOffset(); got != c.offset {
+			t.Errorf("%v.BlockOffset() = %d, want %d", c.addr, got, c.offset)
+		}
+	}
+}
+
+func TestBlockAddrRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		b := a.Block()
+		// The block base must contain the address and be block aligned.
+		base := b.Addr()
+		return base <= a && a < base+BlockSize && base.BlockOffset() == 0 &&
+			a.AlignBlock() == base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockPageConsistency(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		return a.Block().Page() == a.Page()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchKindStrings(t *testing.T) {
+	kinds := []BranchKind{BrNone, BrCond, BrJump, BrCall, BrIndCall, BrRet}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("BranchKind %d has empty or duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !BrCall.IsCall() || !BrIndCall.IsCall() || BrRet.IsCall() || BrCond.IsCall() {
+		t.Error("IsCall misclassifies kinds")
+	}
+}
+
+func TestBlockEventEndAddr(t *testing.T) {
+	e := BlockEvent{Addr: 0x1000, NumInstr: 5}
+	if got := e.EndAddr(); got != 0x1000+5*InstrSize {
+		t.Errorf("EndAddr = %v", got)
+	}
+	if e.Block() != Addr(0x1000).Block() {
+		t.Error("Block mismatch")
+	}
+}

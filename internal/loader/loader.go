@@ -1,0 +1,106 @@
+// Package loader models the application-loading step of the paper's
+// pipeline (§5.2): it consumes a linked binary image, reconstructs the
+// runnable program, and applies the .bundles segment by "setting the
+// reserved bit" on the flagged call/return instructions — realised here as
+// a TagSet the execution engine consults when emitting those instructions.
+package loader
+
+import (
+	"fmt"
+	"sort"
+
+	"hprefetch/internal/binfmt"
+	"hprefetch/internal/isa"
+	"hprefetch/internal/program"
+)
+
+// TagSet is the set of tagged instruction addresses, queryable in
+// O(log n). The zero value is an empty set.
+type TagSet struct {
+	addrs []isa.Addr // sorted ascending
+}
+
+// NewTagSet builds a set from addresses (copied and sorted).
+func NewTagSet(addrs []isa.Addr) *TagSet {
+	s := &TagSet{addrs: append([]isa.Addr(nil), addrs...)}
+	sort.Slice(s.addrs, func(i, j int) bool { return s.addrs[i] < s.addrs[j] })
+	return s
+}
+
+// Contains reports whether addr carries the Bundle-entry tag.
+func (s *TagSet) Contains(addr isa.Addr) bool {
+	lo, hi := 0, len(s.addrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.addrs[mid] < addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.addrs) && s.addrs[lo] == addr
+}
+
+// Len returns the number of tagged instructions.
+func (s *TagSet) Len() int { return len(s.addrs) }
+
+// Loaded is a program ready for execution.
+type Loaded struct {
+	// Prog is the linked program.
+	Prog *program.Program
+	// Tags holds the tagged call/return instruction addresses.
+	Tags *TagSet
+	// Entries lists the Bundle entry functions from the image.
+	Entries []isa.FuncID
+	// Threshold echoes the link-time divergence threshold.
+	Threshold uint64
+}
+
+// Load reconstructs and validates a runnable program from a linked image.
+func Load(im *binfmt.Image) (*Loaded, error) {
+	if im.TextSize == 0 {
+		return nil, fmt.Errorf("loader: image %q is not linked", im.Name)
+	}
+	p := im.Program()
+	if int(im.Entry) >= p.NumFuncs() {
+		return nil, fmt.Errorf("loader: entry %d out of range", im.Entry)
+	}
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		if f.Addr < p.TextBase || uint64(f.Addr)+uint64(f.Size) > uint64(p.TextBase)+p.TextSize {
+			return nil, fmt.Errorf("loader: function %d outside text segment", i)
+		}
+		for _, c := range f.Calls {
+			if c.Indirect() {
+				if int(c.Targets) >= len(p.TargetSets) {
+					return nil, fmt.Errorf("loader: function %d has dangling target set %d", i, c.Targets)
+				}
+			} else if int(c.Callee) >= p.NumFuncs() {
+				return nil, fmt.Errorf("loader: function %d has dangling callee %d", i, c.Callee)
+			}
+		}
+	}
+	for _, a := range im.Bundles.TaggedAddrs {
+		if _, ok := p.FuncAt(a); !ok {
+			return nil, fmt.Errorf("loader: tagged address %v outside any function", a)
+		}
+	}
+	return &Loaded{
+		Prog:      p,
+		Tags:      NewTagSet(im.Bundles.TaggedAddrs),
+		Entries:   append([]isa.FuncID(nil), im.Bundles.Entries...),
+		Threshold: im.Bundles.Threshold,
+	}, nil
+}
+
+// LoadLinked is a convenience for the common in-process path: it skips
+// the image round-trip and loads directly from a linker result, sharing
+// the already-linked program.
+func LoadLinked(prog *program.Program, im *binfmt.Image) *Loaded {
+	return &Loaded{
+		Prog:      prog,
+		Tags:      NewTagSet(im.Bundles.TaggedAddrs),
+		Entries:   append([]isa.FuncID(nil), im.Bundles.Entries...),
+		Threshold: im.Bundles.Threshold,
+	}
+}

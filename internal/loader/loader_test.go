@@ -1,0 +1,103 @@
+package loader
+
+import (
+	"testing"
+
+	"hprefetch/internal/binfmt"
+	"hprefetch/internal/isa"
+	"hprefetch/internal/linker"
+	"hprefetch/internal/program"
+)
+
+func linkedImage(t *testing.T) (*program.Program, *binfmt.Image) {
+	t.Helper()
+	cfg := program.DefaultConfig()
+	cfg.Name = "load-test"
+	cfg.Seed = 41
+	cfg.OrphanFuncs = 100
+	p, err := program.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := linker.Link(p, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, l.Image
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	p, im := linkedImage(t)
+	// Full fidelity path: marshal, unmarshal, load.
+	back, err := binfmt.Unmarshal(im.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := Load(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Prog.NumFuncs() != p.NumFuncs() {
+		t.Fatal("function count changed across load")
+	}
+	if ld.Tags.Len() != len(im.Bundles.TaggedAddrs) {
+		t.Fatalf("tag count %d != segment %d", ld.Tags.Len(), len(im.Bundles.TaggedAddrs))
+	}
+	for _, a := range im.Bundles.TaggedAddrs {
+		if !ld.Tags.Contains(a) {
+			t.Fatalf("tag %v lost in load", a)
+		}
+	}
+	if ld.Threshold != im.Bundles.Threshold || len(ld.Entries) != len(im.Bundles.Entries) {
+		t.Error("bundle metadata lost in load")
+	}
+}
+
+func TestTagSetContains(t *testing.T) {
+	s := NewTagSet([]isa.Addr{0x30, 0x10, 0x20})
+	for _, a := range []isa.Addr{0x10, 0x20, 0x30} {
+		if !s.Contains(a) {
+			t.Errorf("missing %v", a)
+		}
+	}
+	for _, a := range []isa.Addr{0x0, 0x11, 0x1F, 0x31, 0xFFFF} {
+		if s.Contains(a) {
+			t.Errorf("false positive at %v", a)
+		}
+	}
+	var empty TagSet
+	if empty.Contains(0x10) || empty.Len() != 0 {
+		t.Error("zero-value TagSet misbehaves")
+	}
+}
+
+func TestLoadRejectsUnlinked(t *testing.T) {
+	cfg := program.DefaultConfig()
+	cfg.Name = "unlinked"
+	p, err := program.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(binfmt.FromProgram(p)); err == nil {
+		t.Error("unlinked image loaded")
+	}
+}
+
+func TestLoadRejectsBadTag(t *testing.T) {
+	_, im := linkedImage(t)
+	im.Bundles.TaggedAddrs = append(im.Bundles.TaggedAddrs, isa.Addr(0x1))
+	if _, err := Load(im); err == nil {
+		t.Error("tag outside text accepted")
+	}
+}
+
+func TestLoadLinkedSharesProgram(t *testing.T) {
+	p, im := linkedImage(t)
+	ld := LoadLinked(p, im)
+	if ld.Prog != p {
+		t.Error("LoadLinked must share the program")
+	}
+	if ld.Tags.Len() == 0 {
+		t.Error("LoadLinked lost tags")
+	}
+}

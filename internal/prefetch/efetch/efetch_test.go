@@ -1,0 +1,111 @@
+package efetch
+
+import (
+	"testing"
+
+	"hprefetch/internal/isa"
+	"hprefetch/internal/prefetch/prefetchtest"
+)
+
+func call(target isa.Addr, pc isa.Addr) *isa.BlockEvent {
+	return &isa.BlockEvent{Addr: pc - 12, NumInstr: 4, Branch: isa.BrCall, BrPC: pc, Target: target}
+}
+
+func ret(pc isa.Addr, to isa.Addr) *isa.BlockEvent {
+	return &isa.BlockEvent{Addr: pc - 4, NumInstr: 2, Branch: isa.BrRet, BrPC: pc, Target: to}
+}
+
+func body(addr isa.Addr, n int) []*isa.BlockEvent {
+	out := make([]*isa.BlockEvent, n)
+	for i := range out {
+		out[i] = &isa.BlockEvent{Addr: addr + isa.Addr(i*64), NumInstr: 16}
+	}
+	return out
+}
+
+// runSequence replays a fixed call chain A->B->C (with bodies) twice and
+// returns the prefetches observed during the second pass.
+func runSequence(t *testing.T, cfg Config) []isa.Block {
+	m := prefetchtest.NewMockMachine()
+	p := New(cfg, m)
+	seq := func() {
+		p.OnRetire(call(0x10000, 0x100)) // call A
+		for _, e := range body(0x10010, 3) {
+			p.OnRetire(e)
+		}
+		p.OnRetire(ret(0x10200, 0x104))  // A returns
+		p.OnRetire(call(0x20000, 0x200)) // call B
+		for _, e := range body(0x20010, 2) {
+			p.OnRetire(e)
+		}
+		p.OnRetire(ret(0x20100, 0x204))
+		p.OnRetire(call(0x30000, 0x300)) // call C
+		p.OnRetire(ret(0x30040, 0x304))
+	}
+	for i := 0; i < 3; i++ {
+		seq()
+	}
+	m.Issued = nil
+	seq()
+	return m.Issued
+}
+
+func TestPredictsNextCallee(t *testing.T) {
+	issued := runSequence(t, DefaultConfig())
+	if len(issued) == 0 {
+		t.Fatal("no predictions after training")
+	}
+	// After the call to A, the next callee B (block of 0x20000) must be
+	// among the prefetches; its recorded footprint anchors at its entry.
+	seen := map[isa.Block]bool{}
+	for _, b := range issued {
+		seen[b] = true
+	}
+	if !seen[isa.Addr(0x20000).Block()] {
+		t.Errorf("next callee entry not prefetched; issued %v", issued)
+	}
+}
+
+func TestFootprintPrefetched(t *testing.T) {
+	issued := runSequence(t, DefaultConfig())
+	seen := map[isa.Block]bool{}
+	for _, b := range issued {
+		seen[b] = true
+	}
+	// B's body blocks were recorded while B ran; they must be issued
+	// along with its entry.
+	if !seen[isa.Addr(0x20010).Block()+1] {
+		t.Errorf("callee footprint not prefetched; issued %v", issued)
+	}
+}
+
+func TestLookaheadChains(t *testing.T) {
+	shallow := runSequence(t, Config{TableEntries: 4096, TableWays: 4, FootEntries: 4096, SigDepth: 3, Lookahead: 1})
+	deep := runSequence(t, Config{TableEntries: 4096, TableWays: 4, FootEntries: 4096, SigDepth: 3, Lookahead: 3})
+	if len(deep) <= len(shallow) {
+		t.Errorf("deeper lookahead issued %d <= shallow %d", len(deep), len(shallow))
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	p := New(DefaultConfig(), prefetchtest.NewMockMachine())
+	kb := float64(p.StorageBits()) / 8 / 1024
+	if kb < 10 || kb > 45 {
+		t.Errorf("EFetch storage %.1fKB outside the paper's <40KB class", kb)
+	}
+	if p.Name() != "EFetch" {
+		t.Error("name")
+	}
+}
+
+func TestUnbalancedReturnsTolerated(t *testing.T) {
+	m := prefetchtest.NewMockMachine()
+	p := New(DefaultConfig(), m)
+	for i := 0; i < 100; i++ {
+		p.OnRetire(ret(0x1000, 0x2000))
+	}
+	// No panic, no traffic.
+	if len(m.Issued) != 0 {
+		t.Error("bare returns caused prefetches")
+	}
+}

@@ -1,0 +1,92 @@
+package eip
+
+import (
+	"testing"
+
+	"hprefetch/internal/isa"
+	"hprefetch/internal/prefetch/prefetchtest"
+)
+
+func ev(b isa.Block) *isa.BlockEvent {
+	return &isa.BlockEvent{Addr: b.Addr(), NumInstr: 8}
+}
+
+func TestEntangleAndReplay(t *testing.T) {
+	m := prefetchtest.NewMockMachine()
+	p := New(DefaultConfig(), m)
+	// Script: block 7 retired one miss-latency before block 99 missed.
+	target := m.MissLat * uint64(DefaultConfig().LatencyScalePct) / 100
+	m.AgoBlocks[target] = 7
+	p.OnDemandMiss(99, m.MissLat)
+	// Next time block 7 retires, 99 must be prefetched.
+	p.OnRetire(ev(7))
+	if len(m.Issued) != 1 || m.Issued[0] != 99 {
+		t.Fatalf("issued %v, want [99]", m.Issued)
+	}
+}
+
+func TestMultipleDestinations(t *testing.T) {
+	m := prefetchtest.NewMockMachine()
+	p := New(DefaultConfig(), m)
+	target := m.MissLat * uint64(DefaultConfig().LatencyScalePct) / 100
+	m.AgoBlocks[target] = 7
+	for d := isa.Block(100); d < 100+destsPerEntry; d++ {
+		p.OnDemandMiss(d, m.MissLat)
+	}
+	p.OnRetire(ev(7))
+	if len(m.Issued) != destsPerEntry {
+		t.Fatalf("issued %d, want %d", len(m.Issued), destsPerEntry)
+	}
+	// Overflow rotates the oldest destination out.
+	p.OnDemandMiss(555, m.MissLat)
+	m.Issued = nil
+	p.OnRetire(ev(8)) // different block: nothing
+	p.OnRetire(ev(7))
+	seen := m.IssuedSet()
+	if !seen[555] {
+		t.Error("new destination lost on overflow")
+	}
+	if seen[100] {
+		t.Error("oldest destination survived overflow")
+	}
+}
+
+func TestNoDuplicateDestinations(t *testing.T) {
+	m := prefetchtest.NewMockMachine()
+	p := New(DefaultConfig(), m)
+	target := m.MissLat * uint64(DefaultConfig().LatencyScalePct) / 100
+	m.AgoBlocks[target] = 7
+	for i := 0; i < 10; i++ {
+		p.OnDemandMiss(99, m.MissLat)
+	}
+	p.OnRetire(ev(7))
+	if len(m.Issued) != 1 {
+		t.Fatalf("duplicate destinations recorded: %v", m.Issued)
+	}
+	if d := p.AvgDestinations(); d != 1 {
+		t.Errorf("avg destinations %v, want 1", d)
+	}
+}
+
+func TestSelfEntangleSkipped(t *testing.T) {
+	m := prefetchtest.NewMockMachine()
+	p := New(DefaultConfig(), m)
+	target := m.MissLat * uint64(DefaultConfig().LatencyScalePct) / 100
+	m.AgoBlocks[target] = 99
+	p.OnDemandMiss(99, m.MissLat)
+	p.OnRetire(ev(99))
+	if len(m.Issued) != 0 {
+		t.Error("block entangled with itself")
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	p := New(DefaultConfig(), prefetchtest.NewMockMachine())
+	kb := float64(p.StorageBits()) / 8 / 1024
+	if kb < 20 || kb > 60 {
+		t.Errorf("EIP storage %.1fKB outside the paper's ~40KB class", kb)
+	}
+	if p.Name() != "EIP" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,180 @@
+// Package prefetch defines the contract between the simulated core and
+// the instruction prefetchers under study, plus the spatial-region
+// compression machinery shared by the temporal schemes (MANA's regions,
+// the Hierarchical Prefetcher's Compression Buffer — §5.3.1).
+//
+// All evaluated prefetchers run on top of the FDIP front-end, observing
+// the retired instruction stream and issuing block prefetches through the
+// Machine interface; the simulator charges real latency, MSHR occupancy
+// and bandwidth for everything they do.
+package prefetch
+
+import "hprefetch/internal/isa"
+
+// Machine is the hardware surface a prefetcher can touch. It is
+// implemented by the simulator core.
+type Machine interface {
+	// Now returns the current cycle (in the simulator's scaled units;
+	// use only for relative comparisons and pacing).
+	Now() uint64
+	// CycleScale returns the number of scaled units per CPU cycle.
+	CycleScale() uint64
+	// BlockSeq returns the count of retired fetch blocks so far — the
+	// clock used for prefetch-distance measurements.
+	BlockSeq() uint64
+	// InstrSeq returns retired instructions so far (Bundle pacing).
+	InstrSeq() uint64
+	// Resident reports whether a block is in the L1-I or in flight.
+	Resident(b isa.Block) bool
+	// Prefetch requests a block fill into the L1-I (or the L2 when the
+	// simulator runs in prefetch-to-L2 mode). It returns false if the
+	// request was dropped (queue pressure) or redundant.
+	Prefetch(b isa.Block) bool
+	// PrefetchSpace returns how many further Prefetch calls can be
+	// accepted right now; streaming prefetchers use it as back-pressure.
+	PrefetchSpace() int
+	// AvgMissLatency returns a running estimate of the demand miss
+	// latency in scaled units (EIP's timeliness target).
+	AvgMissLatency() uint64
+	// BlockAgo returns the block that retired closest to `cycles` scaled
+	// units ago, for latency-aware trigger selection (EIP).
+	BlockAgo(cycles uint64) (isa.Block, bool)
+	// MetadataRead models a prefetcher metadata fetch of n bytes at
+	// addr, charged through the LLC/memory path; it returns the cycle
+	// (scaled) at which the data is available.
+	MetadataRead(addr isa.Addr, n int) uint64
+	// MetadataWrite models a metadata writeback of n bytes at addr.
+	MetadataWrite(addr isa.Addr, n int)
+}
+
+// Prefetcher is an instruction prefetcher under evaluation.
+type Prefetcher interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// OnRetire observes every retired fetch region in program order;
+	// this is where training and trigger matching happen. Tagged
+	// call/return events carry the Bundle entry bit (§5.2).
+	OnRetire(ev *isa.BlockEvent)
+	// OnResteer signals a pipeline flush (branch mispredict); schemes
+	// that follow the fetch stream (e.g. MANA) must re-synchronise.
+	OnResteer()
+	// OnDemandMiss observes an L1-I demand miss and the latency (scaled
+	// units) it paid; correlating schemes train on this.
+	OnDemandMiss(b isa.Block, latency uint64)
+	// StorageBits returns the on-chip metadata budget in bits, for the
+	// storage-cost comparisons in the paper.
+	StorageBits() int
+}
+
+// RegionBlocks is the spatial-region span used throughout the paper: 32
+// contiguous cache blocks per region.
+const RegionBlocks = 32
+
+// Region is a compressed spatial region: a base block plus a bit vector
+// over the following RegionBlocks blocks (bit 0 = the base itself).
+type Region struct {
+	Base isa.Block
+	Vec  uint32
+}
+
+// Contains reports whether the region can represent block b.
+func (r *Region) Contains(b isa.Block) bool {
+	return b >= r.Base && b < r.Base+RegionBlocks
+}
+
+// Set marks block b (which must be within range).
+func (r *Region) Set(b isa.Block) {
+	r.Vec |= 1 << uint(b-r.Base)
+}
+
+// Has reports whether block b is marked.
+func (r *Region) Has(b isa.Block) bool {
+	return r.Contains(b) && r.Vec&(1<<uint(b-r.Base)) != 0
+}
+
+// Count returns the number of marked blocks.
+func (r *Region) Count() int {
+	v := r.Vec
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// Blocks appends the marked blocks in ascending order to dst.
+func (r *Region) Blocks(dst []isa.Block) []isa.Block {
+	for i := 0; i < RegionBlocks; i++ {
+		if r.Vec&(1<<uint(i)) != 0 {
+			dst = append(dst, r.Base+isa.Block(i))
+		}
+	}
+	return dst
+}
+
+// RegionBuffer is the fully-associative FIFO compression buffer of §5.3.1:
+// retiring blocks coalesce into the matching region; when a new region is
+// needed the oldest one is evicted and handed to the caller.
+type RegionBuffer struct {
+	regions []Region
+	valid   []bool
+	head    int // next FIFO eviction slot
+	size    int
+}
+
+// NewRegionBuffer builds a buffer with the given entry count (the paper
+// uses 16 entries per core).
+func NewRegionBuffer(entries int) *RegionBuffer {
+	return &RegionBuffer{
+		regions: make([]Region, entries),
+		valid:   make([]bool, entries),
+	}
+}
+
+// Insert records a retired block. When the block opens a new region and
+// the buffer is full, the oldest region is evicted and returned.
+func (rb *RegionBuffer) Insert(b isa.Block) (evicted Region, ok bool) {
+	for i := range rb.regions {
+		if rb.valid[i] && rb.regions[i].Contains(b) {
+			rb.regions[i].Set(b)
+			return Region{}, false
+		}
+	}
+	slot := rb.head
+	if rb.valid[slot] {
+		evicted, ok = rb.regions[slot], true
+	} else {
+		rb.size++
+	}
+	rb.regions[slot] = Region{Base: b, Vec: 1}
+	rb.valid[slot] = true
+	rb.head = (rb.head + 1) % len(rb.regions)
+	return evicted, ok
+}
+
+// Flush evicts every valid region in FIFO order, oldest first.
+func (rb *RegionBuffer) Flush() []Region {
+	out := make([]Region, 0, rb.size)
+	n := len(rb.regions)
+	for i := 0; i < n; i++ {
+		slot := (rb.head + i) % n
+		if rb.valid[slot] {
+			out = append(out, rb.regions[slot])
+			rb.valid[slot] = false
+		}
+	}
+	rb.size = 0
+	rb.head = 0
+	return out
+}
+
+// Len returns the number of valid regions buffered.
+func (rb *RegionBuffer) Len() int { return rb.size }
+
+// StorageBits returns the on-chip cost of the buffer: each entry holds a
+// block-granular base address (58 bits at 64-bit addresses with 6 block
+// bits) plus the 32-bit vector and a valid bit.
+func (rb *RegionBuffer) StorageBits() int {
+	return len(rb.regions) * (58 + 32 + 1)
+}

@@ -1,0 +1,77 @@
+// Package prefetchtest provides a scriptable prefetch.Machine mock for
+// unit-testing prefetchers in isolation.
+package prefetchtest
+
+import (
+	"hprefetch/internal/isa"
+	"hprefetch/internal/prefetch"
+)
+
+// MockMachine is a minimal prefetch.Machine for unit-testing prefetchers.
+// It records every accepted prefetch and lets tests script time, the
+// retired-block history, and residency.
+type MockMachine struct {
+	NowV       uint64
+	BlockSeqV  uint64
+	InstrSeqV  uint64
+	ResidentV  map[isa.Block]bool
+	Issued     []isa.Block
+	Space      int
+	MissLat    uint64
+	AgoBlocks  map[uint64]isa.Block // cycles-ago -> block
+	MetaReads  int
+	MetaWrites int
+	MetaDelay  uint64
+}
+
+// NewMockMachine returns a mock with unbounded queue space.
+func NewMockMachine() *MockMachine {
+	return &MockMachine{
+		ResidentV: map[isa.Block]bool{},
+		AgoBlocks: map[uint64]isa.Block{},
+		Space:     1 << 30,
+		MissLat:   50 * 48,
+	}
+}
+
+func (m *MockMachine) Now() uint64        { return m.NowV }
+func (m *MockMachine) CycleScale() uint64 { return 48 }
+func (m *MockMachine) BlockSeq() uint64   { return m.BlockSeqV }
+func (m *MockMachine) InstrSeq() uint64   { return m.InstrSeqV }
+
+func (m *MockMachine) Resident(b isa.Block) bool { return m.ResidentV[b] }
+
+func (m *MockMachine) Prefetch(b isa.Block) bool {
+	if m.Space <= 0 {
+		return false
+	}
+	m.Issued = append(m.Issued, b)
+	return true
+}
+
+func (m *MockMachine) PrefetchSpace() int { return m.Space }
+
+func (m *MockMachine) AvgMissLatency() uint64 { return m.MissLat }
+
+func (m *MockMachine) BlockAgo(cycles uint64) (isa.Block, bool) {
+	b, ok := m.AgoBlocks[cycles]
+	return b, ok
+}
+
+func (m *MockMachine) MetadataRead(addr isa.Addr, n int) uint64 {
+	m.MetaReads++
+	return m.NowV + m.MetaDelay
+}
+
+func (m *MockMachine) MetadataWrite(addr isa.Addr, n int) { m.MetaWrites++ }
+
+// IssuedSet returns the distinct issued blocks.
+func (m *MockMachine) IssuedSet() map[isa.Block]bool {
+	out := map[isa.Block]bool{}
+	for _, b := range m.Issued {
+		out[b] = true
+	}
+	return out
+}
+
+var _ prefetch.Machine = (*MockMachine)(nil)

@@ -1,0 +1,126 @@
+package sim_test
+
+import (
+	"testing"
+
+	"hprefetch/internal/cache"
+	"hprefetch/internal/core"
+	"hprefetch/internal/isa"
+	"hprefetch/internal/prefetch"
+	"hprefetch/internal/sim"
+)
+
+func TestPrefetchToL2Mode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	mk := func(m prefetch.Machine) prefetch.Prefetcher { return core.New(core.DefaultConfig(), m) }
+	l1 := runScheme(t, 81, scheme{name: "HP", mk: mk}, nil)
+	l2 := runScheme(t, 81, scheme{name: "HP", mk: mk}, func(p *sim.Params) { p.PrefetchToL2 = true })
+
+	// In L2 mode the prefetcher cannot produce L1-I hits of its own...
+	if l2.PFUseful > l1.PFUseful/10 {
+		t.Errorf("L2-directed prefetching still yields %d L1 useful fills (L1 mode: %d)",
+			l2.PFUseful, l1.PFUseful)
+	}
+	// ...but must cover plenty of L2-level misses.
+	if l2.PFCoverageL2() <= 0.05 {
+		t.Errorf("L2-directed coverage %.2f too low", l2.PFCoverageL2())
+	}
+	base := runScheme(t, 81, scheme{name: "FDIP"}, nil)
+	if l2.IPC() <= base.IPC() {
+		t.Errorf("L2-directed HP (%.3f) does not beat FDIP (%.3f)", l2.IPC(), base.IPC())
+	}
+}
+
+func TestDisableFDIPAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	on := runScheme(t, 82, scheme{name: "FDIP"}, nil)
+	off := runScheme(t, 82, scheme{name: "FDIP"}, func(p *sim.Params) { p.DisableFDIP = true })
+	if off.FDIPIssued != 0 {
+		t.Error("DisableFDIP still issued prefetches")
+	}
+	if off.IPC() >= on.IPC() {
+		t.Errorf("disabling FDIP did not hurt: %.3f vs %.3f", off.IPC(), on.IPC())
+	}
+	// Without FDIP all misses are clean.
+	if off.L1ILateHits != 0 {
+		t.Error("late hits without any prefetching")
+	}
+	if off.L1IDemandMisses <= on.L1IDemandMisses {
+		t.Error("clean misses did not increase without FDIP")
+	}
+}
+
+func TestMetadataAccountingFlowsThroughStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	st := runScheme(t, 83, scheme{
+		name: "HP",
+		mk:   func(m prefetch.Machine) prefetch.Prefetcher { return core.New(core.DefaultConfig(), m) },
+	}, nil)
+	if st.MetaReads == 0 || st.MetaWrites == 0 {
+		t.Errorf("metadata traffic missing: reads=%d writes=%d", st.MetaReads, st.MetaWrites)
+	}
+	if st.MetaReadBlocks == 0 || st.MetaWriteBlocks == 0 {
+		t.Error("metadata block accounting missing")
+	}
+	// Bandwidth attribution: metadata must appear in the memory-block
+	// ledger at least occasionally (cold segments miss the LLC).
+	if st.MemBlocksMeta == 0 {
+		t.Error("metadata never reached memory")
+	}
+}
+
+func TestFTQSizeMonotonicityAtLowEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tiny := runScheme(t, 84, scheme{name: "FDIP"}, func(p *sim.Params) { p.FTQEntries = 2 })
+	norm := runScheme(t, 84, scheme{name: "FDIP"}, nil)
+	if tiny.IPC() >= norm.IPC() {
+		t.Errorf("2-entry FTQ (%.3f) not worse than 24-entry (%.3f)", tiny.IPC(), norm.IPC())
+	}
+}
+
+func TestMachinePrefetchAPI(t *testing.T) {
+	m, err := sim.New(sim.DefaultParams(), newEngine(t, 85), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(50_000)
+	if m.PrefetchSpace() <= 0 {
+		t.Error("no prefetch space on an idle queue")
+	}
+	// Issue a prefetch for a far-away block: must be accepted once, then
+	// be redundant.
+	blk := isa.Block(0xDEAD00)
+	if !m.Prefetch(blk) {
+		t.Fatal("fresh prefetch rejected")
+	}
+	if m.Prefetch(blk) {
+		t.Error("duplicate prefetch accepted")
+	}
+	if !m.Resident(blk) {
+		t.Error("in-flight block not reported resident")
+	}
+	if _, ok := m.BlockAgo(10 * sim.CycleScale); !ok {
+		t.Error("history empty after 50k instructions")
+	}
+	if m.AvgMissLatency() == 0 {
+		t.Error("zero miss latency estimate")
+	}
+	// Metadata path sanity.
+	ready := m.MetadataRead(0x7F00_0000_0000, 400)
+	if ready < m.Now() {
+		t.Error("metadata ready before now")
+	}
+	m.MetadataWrite(0x7F00_0000_0000, 400)
+	if m.Stats().MetaWrites != 1 || m.Stats().MetaReads != 1 {
+		t.Error("metadata ops not counted")
+	}
+	_ = cache.OriginPF
+}

@@ -1,0 +1,32 @@
+package sim_test
+
+import (
+	"testing"
+
+	"hprefetch/internal/core"
+	"hprefetch/internal/prefetch"
+)
+
+func TestHPDiagnostics(t *testing.T) {
+	var hp *core.Hier
+	st := runScheme(t, 71, scheme{
+		name: "HP",
+		mk: func(m prefetch.Machine) prefetch.Prefetcher {
+			hp = core.New(core.DefaultConfig(), m)
+			return hp
+		},
+	}, nil)
+	c := hp.Counters
+	t.Logf("boundaries=%d matHits=%d replayEnds=%d chainBroken=%d segsLoaded=%d prefIssued=%d paceStalls=%d",
+		c.Boundaries, c.MATHits, c.ReplayEnds, c.ChainBroken, c.SegsLoaded, c.PrefIssued, c.PaceStalls)
+	if c.LeadCount > 0 {
+		t.Logf("avg replay lead at segment advance: %d instr over %d advances", c.LeadSum/c.LeadCount, c.LeadCount)
+	}
+	t.Logf("PF: issued=%d redundant=%d dropped=%d useful=%d late=%d useless=%d dist=%.1f",
+		st.PFIssued, st.PFRedundant, st.PFDropped, st.PFUseful, st.PFLate, st.PFUseless, st.PFAvgDistance())
+	t.Logf("demand: hits=%d misses=%d lateHits=%d | fdip issued=%d useful=%d late=%d",
+		st.L1IDemandHits, st.L1IDemandMisses, st.L1ILateHits, st.FDIPIssued, st.FDIPUseful, st.LateFDIP)
+	t.Logf("dist hist (buckets 2,4,8,16,32,64,128,256,inf): %v", st.PFDistHist)
+	t.Logf("stall sums (cycles): fdipLate=%d pfLate=%d L2=%d LLC=%d mem=%d",
+		st.LateFDIPStallSum/48, st.LatePFStallSum/48, st.LatencyL2Sum/48, st.LatencyLLCSum/48, st.LatencyMemSum/48)
+}

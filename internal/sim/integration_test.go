@@ -1,0 +1,166 @@
+package sim_test
+
+// Integration tests: every prefetcher runs on the default workload and
+// the paper's qualitative orderings are checked end to end. These tests
+// exercise the full stack: generator -> linker (Bundle identification) ->
+// loader (tagging) -> execution engine -> front-end simulator ->
+// prefetcher.
+
+import (
+	"testing"
+
+	"hprefetch/internal/core"
+	"hprefetch/internal/linker"
+	"hprefetch/internal/loader"
+	"hprefetch/internal/prefetch"
+	"hprefetch/internal/prefetch/efetch"
+	"hprefetch/internal/prefetch/eip"
+	"hprefetch/internal/prefetch/mana"
+	"hprefetch/internal/program"
+	"hprefetch/internal/sim"
+	"hprefetch/internal/trace"
+)
+
+const (
+	warmInstr    = 5_000_000
+	measureInstr = 8_000_000
+)
+
+func newEngine(t testing.TB, seed uint64) *trace.Engine {
+	t.Helper()
+	cfg := program.DefaultConfig()
+	cfg.Name = "integration"
+	cfg.Seed = seed
+	p, err := program.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := linker.Link(p, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.New(loader.LoadLinked(p, l.Image), 7)
+}
+
+type scheme struct {
+	name string
+	mk   func(m prefetch.Machine) prefetch.Prefetcher
+}
+
+func schemes() []scheme {
+	return []scheme{
+		{"FDIP", nil},
+		{"EFetch", func(m prefetch.Machine) prefetch.Prefetcher { return efetch.New(efetch.DefaultConfig(), m) }},
+		{"MANA", func(m prefetch.Machine) prefetch.Prefetcher { return mana.New(mana.DefaultConfig(), m) }},
+		{"EIP", func(m prefetch.Machine) prefetch.Prefetcher { return eip.New(eip.DefaultConfig(), m) }},
+		{"Hierarchical", func(m prefetch.Machine) prefetch.Prefetcher { return core.New(core.DefaultConfig(), m) }},
+	}
+}
+
+func runScheme(t testing.TB, seed uint64, s scheme, mutate func(*sim.Params)) *sim.Stats {
+	t.Helper()
+	prm := sim.DefaultParams()
+	if mutate != nil {
+		mutate(&prm)
+	}
+	eng := newEngine(t, seed)
+	var pf prefetch.Prefetcher
+	mk := func(m prefetch.Machine) prefetch.Prefetcher {
+		if s.mk == nil {
+			return nil
+		}
+		return s.mk(m)
+	}
+	m, err := sim.New(prm, eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf = mk(m)
+	if pf != nil {
+		m.SetPrefetcher(pf)
+	}
+	m.Run(warmInstr)
+	m.ResetStats()
+	m.Run(measureInstr)
+	return m.Stats()
+}
+
+func TestPrefetcherShowdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full showdown is slow")
+	}
+	results := map[string]*sim.Stats{}
+	for _, s := range schemes() {
+		results[s.name] = runScheme(t, 71, s, nil)
+	}
+	perfect := runScheme(t, 71, scheme{name: "Perfect"}, func(p *sim.Params) { p.PerfectL1I = true })
+
+	base := results["FDIP"].IPC()
+	t.Logf("%-14s %8s %8s %8s %8s %8s %8s %9s", "scheme", "IPC", "speedup", "acc", "covL1", "covL2", "late%", "dist")
+	for _, s := range schemes() {
+		st := results[s.name]
+		t.Logf("%-14s %8.3f %+7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %9.1f",
+			s.name, st.IPC(), (st.IPC()/base-1)*100,
+			st.PFAccuracy()*100, st.PFCoverageL1()*100, st.PFCoverageL2()*100,
+			st.PFLateFraction()*100, st.PFAvgDistance())
+	}
+	t.Logf("%-14s %8.3f %+7.1f%%", "PerfectL1I", perfect.IPC(), (perfect.IPC()/base-1)*100)
+
+	hp := results["Hierarchical"].IPC()
+	eipIPC := results["EIP"].IPC()
+	if hp <= base {
+		t.Errorf("Hierarchical (%.3f) does not beat FDIP (%.3f)", hp, base)
+	}
+	if hp <= eipIPC {
+		t.Errorf("Hierarchical (%.3f) does not beat EIP (%.3f) — the paper's headline ordering", hp, eipIPC)
+	}
+	if results["MANA"].IPC() > hp {
+		t.Errorf("MANA (%.3f) beats Hierarchical (%.3f)", results["MANA"].IPC(), hp)
+	}
+	// Known divergence from the paper: this reproduction's EFetch is
+	// stronger than the original measured (see EXPERIMENTS.md); we only
+	// require that it not dominate Hierarchical by a wide margin.
+	if ef := results["EFetch"].IPC(); ef > hp*1.02 {
+		t.Errorf("EFetch (%.3f) dominates Hierarchical (%.3f) beyond the documented margin", ef, hp)
+	}
+	// Hierarchical must cover far more L2-level misses than any
+	// fine-grained scheme (Table 2: 54% vs 8-23%) — the long-range
+	// mechanism at the heart of the paper.
+	hpCovL2 := results["Hierarchical"].PFCoverageL2()
+	for _, name := range []string{"MANA", "EFetch", "EIP"} {
+		if c := results[name].PFCoverageL2(); c >= hpCovL2 {
+			t.Errorf("%s L2 coverage %.2f not below Hierarchical's %.2f", name, c, hpCovL2)
+		}
+	}
+}
+
+func TestHierarchicalBundleStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := core.DefaultConfig()
+	cfg.TrackStats = true
+	var hp *core.Hier
+	_ = runScheme(t, 72, scheme{
+		name: "HP",
+		mk: func(m prefetch.Machine) prefetch.Prefetcher {
+			hp = core.New(cfg, m)
+			return hp
+		},
+	}, nil)
+	sum := hp.BundleSummary()
+	if sum.DistinctBundles < 5 {
+		t.Fatalf("only %d distinct bundles executed", sum.DistinctBundles)
+	}
+	if sum.Executions < 20 {
+		t.Errorf("only %d bundle executions; reuse too rare", sum.Executions)
+	}
+	if sum.AvgJaccard < 0.5 || sum.AvgJaccard > 1.0 {
+		t.Errorf("bundle Jaccard %.3f implausible (paper: ~0.8-0.95)", sum.AvgJaccard)
+	}
+	if sum.AvgFootprintKB < 1 {
+		t.Errorf("bundle footprint %.2fKB implausibly small", sum.AvgFootprintKB)
+	}
+	t.Logf("bundles: distinct=%d execs=%d footprint=%.1fKB cycles=%.0f jaccard=%.3f",
+		sum.DistinctBundles, sum.Executions, sum.AvgFootprintKB, sum.AvgExecCycles, sum.AvgJaccard)
+}

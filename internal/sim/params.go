@@ -1,0 +1,116 @@
+// Package sim is the timing simulator: a trace-driven, cycle-accounting
+// model of the decoupled FDIP front-end and the instruction-side memory
+// hierarchy of Table 1. It wires the execution engine's retired-event
+// stream through a prediction cursor (BTB + direction + indirect + RAS),
+// a fetch target queue that drives FDIP prefetching, the L1-I/L2/LLC
+// hierarchy with MSHRs and an I-TLB, and an optional prefetcher under
+// evaluation, producing the metrics every experiment in the paper reports.
+package sim
+
+import "hprefetch/internal/bpu"
+
+// CycleScale is the number of scaled time units per CPU cycle. All
+// internal times are in scaled units so fractional per-instruction fetch
+// costs stay integral (48 is divisible by every fetch width up to 8).
+const CycleScale = 48
+
+// Params configures the simulated core and memory hierarchy. The zero
+// value is not valid; start from DefaultParams.
+type Params struct {
+	// FetchWidth is the fetch/commit width in instructions per cycle.
+	FetchWidth int
+	// FTQEntries bounds how far the prediction cursor runs ahead of
+	// fetch, in fetch regions (paper: 24).
+	FTQEntries int
+	// MispredictPenalty is the pipeline refill cost of a resolved
+	// branch misprediction, in cycles.
+	MispredictPenalty uint64
+	// BTBMissPenalty is the front-end re-steer cost when a taken branch
+	// was invisible to the BTB (discovered at decode), in cycles.
+	BTBMissPenalty uint64
+	// BaseCPI models the back-end: cycles per instruction added on top
+	// of fetch throughput and front-end stalls, in 1/CycleScale units
+	// per instruction (e.g. 24 = 0.5 CPI).
+	BaseCPIUnits uint64
+	// StallOverlap is the percentage (0-100) of instruction-miss stall
+	// latency actually exposed; an out-of-order back-end hides a little
+	// of the front-end bubble.
+	StallOverlap int
+
+	// BP configures the branch prediction unit.
+	BP bpu.Config
+
+	// L1ISets/L1IWays: the L1 instruction cache (paper: 32KB, 8-way).
+	L1ISets, L1IWays int
+	// L1ILatency is the L1-I hit latency in cycles (pipelined; charged
+	// only as part of the fill path base).
+	L1ILatency uint64
+	// MSHRs bounds outstanding L1-I fills.
+	MSHRs int
+	// L2Sets/L2Ways: unified L2 (paper: 512KB, 8-way). Only the
+	// instruction-side footprint occupies it here; the data side is
+	// modelled as bandwidth, not occupancy.
+	L2Sets, L2Ways int
+	// L2Latency is the L2 hit latency in cycles.
+	L2Latency uint64
+	// LLCSets/LLCWays: shared last-level cache (paper: 2MB/core, 16-way).
+	LLCSets, LLCWays int
+	// LLCLatency is the LLC hit latency in cycles.
+	LLCLatency uint64
+	// MemLatency is the DRAM access latency in cycles.
+	MemLatency uint64
+
+	// ITLBEntries/ITLBWays size the instruction TLB.
+	ITLBEntries, ITLBWays int
+	// TLBWalkLatency is the page-walk cost in cycles on an I-TLB miss.
+	TLBWalkLatency uint64
+
+	// PrefetchPerCycle bounds prefetch issue bandwidth (requests per
+	// cycle, shared by FDIP and the evaluated prefetcher).
+	PrefetchPerCycle int
+	// PFQueueEntries sizes the evaluated prefetcher's request queue
+	// (requests wait here for free MSHRs instead of being dropped).
+	PFQueueEntries int
+	// PrefetchToL2 directs evaluated-prefetcher fills into the L2
+	// instead of the L1-I (the §7.8 study).
+	PrefetchToL2 bool
+	// PerfectL1I makes every instruction fetch hit (the upper bound in
+	// §7.1).
+	PerfectL1I bool
+	// DisableFDIP turns off FDIP prefetch issue (the FTQ still paces
+	// the cursor); used for ablations.
+	DisableFDIP bool
+}
+
+// DefaultParams mirrors Table 1: an Ice-Lake-like core at 4GHz with a
+// 32KB L1-I, 512KB L2, 2MB LLC and FDIP with a 24-entry FTQ.
+func DefaultParams() Params {
+	return Params{
+		FetchWidth:        4,
+		FTQEntries:        24,
+		MispredictPenalty: 17,
+		BTBMissPenalty:    9,
+		BaseCPIUnits:      22, // ~0.46 CPI back-end contribution
+		StallOverlap:      80,
+		BP:                bpu.DefaultConfig(),
+		L1ISets:           64, // 64 sets x 8 ways x 64B = 32KB
+		L1IWays:           8,
+		L1ILatency:        2,
+		MSHRs:             16,
+		L2Sets:            1024, // 1024 x 8 x 64B = 512KB
+		L2Ways:            8,
+		L2Latency:         14,
+		LLCSets:           2048, // 2048 x 16 x 64B = 2MB
+		LLCWays:           16,
+		LLCLatency:        50,
+		MemLatency:        210,
+		ITLBEntries:       512,
+		ITLBWays:          4,
+		TLBWalkLatency:    35,
+		PrefetchPerCycle:  2,
+		PFQueueEntries:    64,
+	}
+}
+
+// L1ISizeKB returns the configured L1-I capacity in KB.
+func (p *Params) L1ISizeKB() int { return p.L1ISets * p.L1IWays * 64 / 1024 }

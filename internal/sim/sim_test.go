@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"hprefetch/internal/linker"
+	"hprefetch/internal/loader"
+	"hprefetch/internal/program"
+	"hprefetch/internal/trace"
+)
+
+func testEngine(t testing.TB, seed uint64) *trace.Engine {
+	t.Helper()
+	cfg := program.DefaultConfig()
+	cfg.Name = "sim-test"
+	cfg.Seed = seed
+	cfg.OrphanFuncs = 100
+	p, err := program.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := linker.Link(p, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.New(loader.LoadLinked(p, l.Image), 1)
+}
+
+func TestBaselineRunSanity(t *testing.T) {
+	m, err := New(DefaultParams(), testEngine(t, 61), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2_000_000)
+	m.ResetStats()
+	m.Run(1_000_000)
+	st := m.Stats()
+
+	if st.Instructions < 1_000_000 {
+		t.Fatalf("ran %d instructions", st.Instructions)
+	}
+	ipc := st.IPC()
+	if ipc < 0.3 || ipc > 4.0 {
+		t.Errorf("baseline IPC %.3f outside sane range", ipc)
+	}
+	mpki := st.MPKI()
+	if mpki > 25 {
+		t.Errorf("branch MPKI %.2f absurdly high", mpki)
+	}
+	if mpki == 0 {
+		t.Error("no branch mispredictions at all; predictor unrealistically perfect")
+	}
+	l1mpki := st.L1IMPKI()
+	if l1mpki == 0 {
+		t.Error("no L1-I misses; working set fits or caches broken")
+	}
+	if l1mpki > 120 {
+		t.Errorf("L1-I MPKI %.1f absurd", l1mpki)
+	}
+	if st.FDIPIssued == 0 || st.FDIPUseful == 0 {
+		t.Error("FDIP never issued or never helped")
+	}
+	t.Logf("baseline: IPC=%.3f brMPKI=%.2f L1I-MPKI=%.2f BTBredir/KI=%.2f fdipIssued=%d useful=%d late=%d served L2/LLC/mem=%d/%d/%d",
+		ipc, mpki, l1mpki,
+		float64(st.BTBMissRedirects)*1000/float64(st.Instructions),
+		st.FDIPIssued, st.FDIPUseful, st.LateFDIP,
+		st.ServedL2, st.ServedLLC, st.ServedMem)
+}
+
+func TestPerfectL1IBeatsBaseline(t *testing.T) {
+	base, err := New(DefaultParams(), testEngine(t, 62), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Run(2_000_000)
+	base.ResetStats()
+	base.Run(2_000_000)
+
+	prm := DefaultParams()
+	prm.PerfectL1I = true
+	perf, err := New(prm, testEngine(t, 62), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf.Run(2_000_000)
+	perf.ResetStats()
+	perf.Run(2_000_000)
+
+	bi, pi := base.Stats().IPC(), perf.Stats().IPC()
+	if pi <= bi {
+		t.Errorf("perfect L1-I IPC %.3f not above baseline %.3f", pi, bi)
+	}
+	gain := pi/bi - 1
+	t.Logf("perfect-L1I gain over FDIP: %.1f%% (base %.3f perfect %.3f)", gain*100, bi, pi)
+	if gain < 0.02 {
+		t.Errorf("perfect-L1I gain %.3f too small: front-end not a bottleneck", gain)
+	}
+	if gain > 0.8 {
+		t.Errorf("perfect-L1I gain %.3f too large: front-end dominates absurdly", gain)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := New(DefaultParams(), testEngine(t, 63), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(DefaultParams(), testEngine(t, 63), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(300_000)
+	b.Run(300_000)
+	sa, sb := a.Stats(), b.Stats()
+	if sa.ScaledCycles != sb.ScaledCycles || sa.Instructions != sb.Instructions ||
+		sa.L1IDemandMisses != sb.L1IDemandMisses || sa.CondMispredicts != sb.CondMispredicts {
+		t.Error("identical configurations diverged")
+	}
+}
+
+func TestInfiniteBTBImprovesBaseline(t *testing.T) {
+	base, err := New(DefaultParams(), testEngine(t, 64), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Run(2_500_000)
+	base.ResetStats()
+	base.Run(2_000_000)
+
+	prm := DefaultParams()
+	prm.BP.BTBInfinite = true
+	inf, err := New(prm, testEngine(t, 64), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf.Run(2_500_000)
+	inf.ResetStats()
+	inf.Run(2_000_000)
+
+	if inf.Stats().BTBMissRedirects >= base.Stats().BTBMissRedirects {
+		t.Errorf("infinite BTB redirects %d not below finite %d",
+			inf.Stats().BTBMissRedirects, base.Stats().BTBMissRedirects)
+	}
+	bi, ii := base.Stats().IPC(), inf.Stats().IPC()
+	t.Logf("finite BTB IPC %.3f, infinite %.3f (+%.1f%%), redirects/KI %.2f -> %.2f",
+		bi, ii, (ii/bi-1)*100,
+		float64(base.Stats().BTBMissRedirects)*1000/float64(base.Stats().Instructions),
+		float64(inf.Stats().BTBMissRedirects)*1000/float64(inf.Stats().Instructions))
+	if ii <= bi {
+		t.Error("infinite BTB did not improve IPC; BTB pressure missing")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	s := NewStats()
+	if s.IPC() != 0 || s.PFAccuracy() != 0 || s.PFCoverageL1() != 0 ||
+		s.PFLateFraction() != 0 || s.PFAvgDistance() != 0 || s.MPKI() != 0 {
+		t.Error("zero stats must yield zero metrics, not NaN")
+	}
+	s.Instructions = 1000
+	s.ScaledCycles = 1000 * CycleScale
+	if got := s.IPC(); got != 1.0 {
+		t.Errorf("IPC = %v", got)
+	}
+	s.PFIssued = 10
+	s.PFUseful = 5
+	if got := s.PFAccuracy(); got != 0.5 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	eng := testEngine(t, 65)
+	bad := DefaultParams()
+	bad.FetchWidth = 5 // does not divide CycleScale=48? 48/5 no
+	if _, err := New(bad, eng, nil); err == nil {
+		t.Error("non-dividing fetch width accepted")
+	}
+	bad = DefaultParams()
+	bad.FTQEntries = 0
+	if _, err := New(bad, eng, nil); err == nil {
+		t.Error("zero FTQ accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+// DistanceBuckets are the prefetch-distance histogram bucket upper bounds
+// (in cache blocks), matching the Figure 2c analysis.
+var DistanceBuckets = []uint64{2, 4, 8, 16, 32, 64, 128, 256, 1 << 62}
+
+// Stats aggregates everything a run measures. All times are in scaled
+// units (CycleScale per cycle) unless the accessor converts.
+type Stats struct {
+	// Instructions and ScaledCycles drive the IPC metric.
+	Instructions uint64
+	ScaledCycles uint64
+	// Requests counts completed request-loop iterations.
+	Requests uint64
+
+	// Front-end redirects.
+	CondMispredicts     uint64
+	IndirectMispredicts uint64
+	RASMispredicts      uint64
+	BTBMissRedirects    uint64
+	Branches            uint64
+
+	// Demand instruction-fetch outcomes at the L1-I.
+	L1IDemandHits   uint64
+	L1IDemandMisses uint64 // clean misses (no prefetch in flight)
+	L1ILateHits     uint64 // demand hit an in-flight fill (by origin below)
+
+	// Where clean demand misses were served, with latency sums (scaled).
+	ServedL2, ServedLLC, ServedMem             uint64
+	LatencyL2Sum, LatencyLLCSum, LatencyMemSum uint64
+	LateFDIP, LatePF                           uint64
+	LateFDIPStallSum, LatePFStallSum           uint64
+	LateFDIPByLevel, LatePFByLevel             [5]uint64
+	StallScaled                                uint64 // total fetch stall (post-overlap)
+	TLBMisses, TLBHits                         uint64
+
+	// FDIP prefetch accounting.
+	FDIPIssued, FDIPUseful, FDIPUseless uint64
+
+	// Evaluated-prefetcher accounting.
+	PFIssued        uint64 // requests that allocated an MSHR/fill
+	PFRedundant     uint64 // dropped: already resident or in flight
+	PFDropped       uint64 // dropped: MSHR pressure
+	PFUseful        uint64 // first demand hit on a PF line (L1-I)
+	PFUseless       uint64 // PF line evicted unused
+	PFLate          uint64 // demand arrived while PF fill in flight
+	PFDistSum       uint64 // sum of distances (blocks) at first use
+	PFDistCount     uint64
+	PFDistHist      []uint64 // per DistanceBuckets: uses at that distance
+	PFDistUseful    []uint64 // useful at that distance
+	PFDistIssuedSum uint64
+
+	// Coverage bookkeeping at the L2 (long-range view).
+	L2CoveredByPF uint64 // demand L2 hits on PF-installed lines
+	L2Beyond      uint64 // demand misses that went past the L2
+
+	// Bandwidth in blocks transferred from memory.
+	MemBlocksDemand uint64
+	MemBlocksFDIP   uint64
+	MemBlocksPF     uint64
+	MemBlocksMeta   uint64
+	MetaReads       uint64
+	MetaWrites      uint64
+	MetaReadBlocks  uint64
+	MetaWriteBlocks uint64
+}
+
+// NewStats returns a Stats with histogram storage allocated.
+func NewStats() *Stats {
+	return &Stats{
+		PFDistHist:   make([]uint64, len(DistanceBuckets)),
+		PFDistUseful: make([]uint64, len(DistanceBuckets)),
+	}
+}
+
+// Cycles returns elapsed cycles.
+func (s *Stats) Cycles() float64 { return float64(s.ScaledCycles) / CycleScale }
+
+// IPC returns instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.ScaledCycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) * CycleScale / float64(s.ScaledCycles)
+}
+
+// MPKI returns branch mispredictions per kilo-instruction.
+func (s *Stats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	mis := s.CondMispredicts + s.IndirectMispredicts + s.RASMispredicts
+	return float64(mis) * 1000 / float64(s.Instructions)
+}
+
+// L1IMPKI returns clean demand misses per kilo-instruction.
+func (s *Stats) L1IMPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.L1IDemandMisses) * 1000 / float64(s.Instructions)
+}
+
+// PFAccuracy returns useful / issued for the evaluated prefetcher,
+// counting late prefetches as issued-but-not-fully-useful, matching the
+// paper's "prefetches that yield an L1-I hit for a demand fetch".
+func (s *Stats) PFAccuracy() float64 {
+	if s.PFIssued == 0 {
+		return 0
+	}
+	return float64(s.PFUseful) / float64(s.PFIssued)
+}
+
+// PFCoverageL1 returns the fraction of would-be L1-I misses (beyond what
+// FDIP already covers) eliminated by the evaluated prefetcher.
+func (s *Stats) PFCoverageL1() float64 {
+	den := s.PFUseful + s.PFLate + s.L1IDemandMisses
+	if den == 0 {
+		return 0
+	}
+	return float64(s.PFUseful) / float64(den)
+}
+
+// PFCoverageL2 returns the fraction of L2-level instruction misses
+// eliminated by prefetcher-installed L2 lines.
+func (s *Stats) PFCoverageL2() float64 {
+	den := s.L2CoveredByPF + s.L2Beyond
+	if den == 0 {
+		return 0
+	}
+	return float64(s.L2CoveredByPF) / float64(den)
+}
+
+// PFLateFraction returns the share of useful+late prefetches that were
+// late (Figure 10).
+func (s *Stats) PFLateFraction() float64 {
+	den := s.PFUseful + s.PFLate
+	if den == 0 {
+		return 0
+	}
+	return float64(s.PFLate) / float64(den)
+}
+
+// PFAvgDistance returns the mean prefetch distance in blocks at first use.
+func (s *Stats) PFAvgDistance() float64 {
+	if s.PFDistCount == 0 {
+		return 0
+	}
+	return float64(s.PFDistSum) / float64(s.PFDistCount)
+}
+
+// AvgMissLatencyCycles returns the average latency paid by clean demand
+// misses, in cycles.
+func (s *Stats) AvgMissLatencyCycles() float64 {
+	n := s.ServedL2 + s.ServedLLC + s.ServedMem
+	if n == 0 {
+		return 0
+	}
+	sum := s.LatencyL2Sum + s.LatencyLLCSum + s.LatencyMemSum
+	return float64(sum) / float64(n) / CycleScale
+}
+
+// TotalMissLatencyCycles returns the total stall attributable to
+// instruction misses (clean miss latency plus late-fill residuals), in
+// cycles — the quantity Figure 11 compares.
+func (s *Stats) TotalMissLatencyCycles() float64 {
+	sum := s.LatencyL2Sum + s.LatencyLLCSum + s.LatencyMemSum +
+		s.LateFDIPStallSum + s.LatePFStallSum
+	return float64(sum) / CycleScale
+}
+
+// MemBlocksTotal returns all blocks fetched from memory.
+func (s *Stats) MemBlocksTotal() uint64 {
+	return s.MemBlocksDemand + s.MemBlocksFDIP + s.MemBlocksPF + s.MemBlocksMeta
+}

@@ -1,0 +1,276 @@
+// Package workloads defines the eleven server-application configurations
+// evaluated in the paper (§6.2) — three Go web frameworks (beego, gin,
+// echo), the Caddy web server, the DGraph graph database, the gorm ORM,
+// and database/OLTP setups (MySQL and TiDB under sysbench, TPC-C, YCSB
+// and sibench) — as presets of the synthetic program generator, scaled to
+// echo each application's structural character: function counts and
+// static-bundle fractions in the neighbourhood of Table 4, pipeline
+// shapes following each system's request flow, and request mixes
+// following each benchmark driver.
+//
+// Linked programs are expensive to build for the large presets (the
+// static analysis walks call graphs with up to hundreds of thousands of
+// functions), so Build memoises per name.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hprefetch/internal/linker"
+	"hprefetch/internal/loader"
+	"hprefetch/internal/program"
+	"hprefetch/internal/trace"
+)
+
+// Workload couples a generator preset with its driver parameters.
+type Workload struct {
+	// Name is the benchmark name used throughout the paper's figures.
+	Name string
+	// Config is the program-generator preset.
+	Config program.Config
+	// TraceSeed drives the request stream (fixed per workload so every
+	// experiment sees the same execution).
+	TraceSeed uint64
+}
+
+// Names returns all workload names in the paper's figure order.
+func Names() []string {
+	return []string{
+		"beego", "caddy", "dgraph", "echo", "gin", "gorm",
+		"mysql-sysbench", "tidb-sysbench", "tidb-tpcc", "mysql-ycsb", "mysql-sibench",
+	}
+}
+
+// Table4Names returns the eight binaries of Table 4 (per-binary static
+// statistics; the three extra driver variants share binaries).
+func Table4Names() []string {
+	return []string{"beego", "caddy", "dgraph", "echo", "gin", "gorm", "mysql-sysbench", "tidb-sysbench"}
+}
+
+// base returns the shared preset all workloads derive from.
+func base(name string, seed uint64) program.Config {
+	cfg := program.DefaultConfig()
+	cfg.Name = name
+	cfg.Seed = seed
+	return cfg
+}
+
+// Get returns the workload preset by name.
+func Get(name string) (Workload, error) {
+	switch name {
+	case "beego":
+		// Full-featured Go web framework: rich middleware pipeline.
+		cfg := base(name, 0xBEE60)
+		cfg.RequestTypes = 9
+		cfg.Stages = []program.StageSpec{
+			{Name: "Read", CommonFuncs: 150},
+			{Name: "Route", Diverges: true, CommonFuncs: 90, HandlerFuncs: 75},
+			{Name: "Filter", CommonFuncs: 330},
+			{Name: "Exec", Diverges: true, CommonFuncs: 140, HandlerFuncs: 95},
+			{Name: "Render", CommonFuncs: 170},
+		}
+		cfg.OrphanFuncs = 34_000
+		cfg.ColdTrees = 10
+		cfg.ColdTreeFuncs = 420
+		return Workload{Name: name, Config: cfg, TraceSeed: 11}, nil
+	case "gin":
+		// Minimal router, hot middleware chain, skewed endpoint mix.
+		cfg := base(name, 0x61709)
+		cfg.RequestTypes = 8
+		cfg.TypeZipf = 0.9
+		cfg.Stages = []program.StageSpec{
+			{Name: "Read", CommonFuncs: 130},
+			{Name: "Route", Diverges: true, CommonFuncs: 70, HandlerFuncs: 80},
+			{Name: "Handle", Diverges: true, CommonFuncs: 150, HandlerFuncs: 95},
+			{Name: "Render", CommonFuncs: 200},
+		}
+		cfg.OrphanFuncs = 34_000
+		cfg.ColdTrees = 10
+		cfg.ColdTreeFuncs = 420
+		return Workload{Name: name, Config: cfg, TraceSeed: 13}, nil
+	case "echo":
+		// Echo framework: similar scale to gin, different structure.
+		cfg := base(name, 0xEC40)
+		cfg.RequestTypes = 10
+		cfg.Stages = []program.StageSpec{
+			{Name: "Read", CommonFuncs: 140},
+			{Name: "Route", Diverges: true, CommonFuncs: 80, HandlerFuncs: 70},
+			{Name: "Middleware", CommonFuncs: 280},
+			{Name: "Handle", Diverges: true, CommonFuncs: 120, HandlerFuncs: 90},
+			{Name: "Render", CommonFuncs: 160},
+		}
+		cfg.OrphanFuncs = 36_000
+		cfg.ColdTrees = 12
+		cfg.ColdTreeFuncs = 550
+		return Workload{Name: name, Config: cfg, TraceSeed: 17}, nil
+	case "caddy":
+		// HTTP/1-2-3 server under nghttp2 load: deep protocol stages,
+		// few request types.
+		cfg := base(name, 0xCADD1)
+		cfg.RequestTypes = 6
+		cfg.TypeZipf = 0.6
+		cfg.Stages = []program.StageSpec{
+			{Name: "Accept", CommonFuncs: 180},
+			{Name: "Decode", CommonFuncs: 260},
+			{Name: "Match", Diverges: true, CommonFuncs: 100, HandlerFuncs: 90},
+			{Name: "Serve", Diverges: true, CommonFuncs: 160, HandlerFuncs: 110},
+			{Name: "Encode", CommonFuncs: 220},
+		}
+		cfg.OrphanFuncs = 50_000
+		cfg.ColdTrees = 12
+		cfg.ColdTreeFuncs = 600
+		return Workload{Name: name, Config: cfg, TraceSeed: 19}, nil
+	case "dgraph":
+		// Graph database: the largest web-side binary, diverse queries.
+		cfg := base(name, 0xD64A9)
+		cfg.RequestTypes = 12
+		cfg.Stages = []program.StageSpec{
+			{Name: "Read", CommonFuncs: 160},
+			{Name: "Parse", CommonFuncs: 340},
+			{Name: "Plan", Diverges: true, CommonFuncs: 130, HandlerFuncs: 85},
+			{Name: "Exec", Diverges: true, CommonFuncs: 190, HandlerFuncs: 105},
+			{Name: "Reply", CommonFuncs: 170},
+		}
+		cfg.OrphanFuncs = 160_000
+		cfg.OrphanTreeFuncs = 80
+		cfg.ColdTrees = 16
+		cfg.ColdTreeFuncs = 550
+		return Workload{Name: name, Config: cfg, TraceSeed: 23}, nil
+	case "gorm":
+		// ORM over PostgreSQL: reflective query building, moderate size.
+		cfg := base(name, 0x609101)
+		cfg.RequestTypes = 7
+		cfg.Stages = []program.StageSpec{
+			{Name: "Bind", CommonFuncs: 170},
+			{Name: "Build", Diverges: true, CommonFuncs: 110, HandlerFuncs: 90},
+			{Name: "Query", CommonFuncs: 300},
+			{Name: "Scan", Diverges: true, CommonFuncs: 130, HandlerFuncs: 85},
+			{Name: "Finish", CommonFuncs: 140},
+		}
+		cfg.OrphanFuncs = 35_000
+		cfg.ColdTrees = 10
+		cfg.ColdTreeFuncs = 420
+		return Workload{Name: name, Config: cfg, TraceSeed: 29}, nil
+	case "mysql-sysbench", "mysql-ycsb", "mysql-sibench":
+		// One MySQL-like binary, three drivers with different request
+		// mixes (sysbench read-write, YCSB, sibench).
+		cfg := base(name, 0x5153AD)
+		cfg.RequestTypes = 8
+		cfg.Stages = []program.StageSpec{
+			{Name: "Read", CommonFuncs: 150},
+			{Name: "Parse", CommonFuncs: 320},
+			{Name: "Optimize", Diverges: true, CommonFuncs: 150, HandlerFuncs: 80},
+			{Name: "Exec", Diverges: true, CommonFuncs: 180, HandlerFuncs: 100},
+			{Name: "Commit", CommonFuncs: 160},
+		}
+		cfg.OrphanFuncs = 100_000
+		cfg.OrphanTreeFuncs = 70
+		cfg.ColdTrees = 14
+		cfg.ColdTreeFuncs = 500
+		var seed uint64
+		switch name {
+		case "mysql-sysbench":
+			cfg.TypeZipf = 0.55
+			seed = 31
+		case "mysql-ycsb":
+			cfg.TypeZipf = 0.99 // YCSB's zipfian default
+			seed = 37
+		default: // sibench
+			cfg.TypeZipf = 0.3
+			seed = 41
+		}
+		return Workload{Name: name, Config: cfg, TraceSeed: seed}, nil
+	case "tidb-sysbench", "tidb-tpcc":
+		// TiDB: the largest binary, the Figure 1 pipeline.
+		cfg := base(name, 0x71DB)
+		cfg.RequestTypes = 10
+		cfg.Stages = []program.StageSpec{
+			{Name: "Read", CommonFuncs: 160},
+			{Name: "Dispatch", Diverges: true, CommonFuncs: 90, HandlerFuncs: 75},
+			{Name: "Compile", CommonFuncs: 420},
+			{Name: "Exec", Diverges: true, CommonFuncs: 150, HandlerFuncs: 95},
+			{Name: "Finish", CommonFuncs: 150},
+		}
+		cfg.OrphanFuncs = 420_000
+		cfg.OrphanTreeFuncs = 90
+		cfg.ColdTrees = 20
+		cfg.ColdTreeFuncs = 600
+		seed := uint64(43)
+		if name == "tidb-tpcc" {
+			cfg.TypeZipf = 0.45 // TPC-C's fixed transaction mix
+			seed = 47
+		}
+		return Workload{Name: name, Config: cfg, TraceSeed: seed}, nil
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// MustGet is Get for known-good names.
+func MustGet(name string) Workload {
+	w, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Built is a generated, linked, loadable workload.
+type Built struct {
+	Workload Workload
+	Linked   *linker.Linked
+	Loaded   *loader.Loaded
+}
+
+// NewEngine creates a fresh deterministic execution engine for the
+// workload (same stream every call).
+func (b *Built) NewEngine() *trace.Engine {
+	return trace.New(b.Loaded, b.Workload.TraceSeed)
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Built{}
+)
+
+// Build generates, links and loads a workload, memoising the result: the
+// large presets take seconds to analyse and every experiment reuses them.
+func Build(name string) (*Built, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if b, ok := cache[name]; ok {
+		return b, nil
+	}
+	w, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := program.Generate(w.Config)
+	if err != nil {
+		return nil, fmt.Errorf("workloads %s: %w", name, err)
+	}
+	l, err := linker.Link(p, linker.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("workloads %s: %w", name, err)
+	}
+	b := &Built{Workload: w, Linked: l, Loaded: loader.LoadLinked(p, l.Image)}
+	cache[name] = b
+	return b, nil
+}
+
+// DropCache releases all memoised workloads (tests and memory-sensitive
+// tools).
+func DropCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = map[string]*Built{}
+}
+
+// SortedNames returns Names() sorted alphabetically, for stable table
+// output where the paper's order is not required.
+func SortedNames() []string {
+	n := Names()
+	sort.Strings(n)
+	return n
+}

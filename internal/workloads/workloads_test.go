@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"testing"
+
+	"hprefetch/internal/isa"
+)
+
+func TestAllPresetsResolve(t *testing.T) {
+	for _, n := range Names() {
+		w, err := Get(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if w.Name != n || w.Config.Name != n {
+			t.Errorf("%s: name mismatch", n)
+		}
+		if err := w.Config.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", n, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet did not panic on unknown name")
+		}
+	}()
+	MustGet("nope")
+}
+
+func TestBuildSmallPresetAndMemoise(t *testing.T) {
+	a, err := Build("gin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("gin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Build not memoised")
+	}
+	if a.Loaded.Tags.Len() == 0 {
+		t.Error("no tagged instructions")
+	}
+	// Entry fraction in a plausible band around the paper's 2.3-6.1%.
+	frac := float64(len(a.Linked.Analysis.Entries)) / float64(a.Loaded.Prog.NumFuncs())
+	if frac < 0.003 || frac > 0.15 {
+		t.Errorf("gin entry fraction %.4f outside plausible band", frac)
+	}
+}
+
+func TestEnginesAreIndependentAndDeterministic(t *testing.T) {
+	b, err := Build("gorm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := b.NewEngine(), b.NewEngine()
+	for i := 0; i < 50_000; i++ {
+		a, bb := e1.Next(), e2.Next()
+		if a != bb {
+			t.Fatalf("engines diverged at event %d", i)
+		}
+	}
+}
+
+func TestMySQLVariantsShareBinaryShape(t *testing.T) {
+	// The three mysql drivers model one binary: same structural seed,
+	// same function count, different request mixes.
+	a, err := Build("mysql-sysbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Build("mysql-ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Loaded.Prog.NumFuncs() != bb.Loaded.Prog.NumFuncs() {
+		t.Error("mysql variants differ structurally")
+	}
+	wa, _ := Get("mysql-sysbench")
+	wb, _ := Get("mysql-ycsb")
+	if wa.Config.TypeZipf == wb.Config.TypeZipf {
+		t.Error("mysql variants share the same request mix")
+	}
+}
+
+func TestTable4NamesSubset(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range Names() {
+		all[n] = true
+	}
+	for _, n := range Table4Names() {
+		if !all[n] {
+			t.Errorf("Table 4 name %s not a workload", n)
+		}
+	}
+	if len(Table4Names()) != 8 {
+		t.Errorf("Table 4 has 8 binaries, got %d", len(Table4Names()))
+	}
+	if len(SortedNames()) != len(Names()) {
+		t.Error("SortedNames dropped entries")
+	}
+}
+
+func TestDropCache(t *testing.T) {
+	a, err := Build("gin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	DropCache()
+	b, err := Build("gin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("DropCache kept the old build")
+	}
+	// Identical regardless of cache state.
+	if a.Loaded.Prog.TextSize != b.Loaded.Prog.TextSize {
+		t.Error("rebuild differs")
+	}
+	_ = isa.Addr(0)
+}

@@ -1,0 +1,173 @@
+// Package xrand provides the small, fast, deterministic random-number
+// utilities used throughout the simulator. Every stochastic choice in the
+// repository — program generation, per-function behaviour, request mixes,
+// branch outcomes — flows through these helpers so that a (seed, workload)
+// pair always reproduces the identical instruction stream, which is what
+// makes the experiment harness and the tests deterministic.
+package xrand
+
+import "math"
+
+// SplitMix64 advances the state and returns the next 64-bit output of the
+// splitmix64 generator. It is the backbone of all derived seeds.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix returns a well-distributed 64-bit hash of the given words, used to
+// derive independent sub-seeds (e.g. per-function behaviour seeds) from a
+// master seed without correlation.
+func Mix(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h ^= w
+		h = SplitMix64(&h)
+	}
+	return h
+}
+
+// RNG is a tiny xoshiro256**-style generator. The zero value is invalid;
+// construct with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG seeded from the given seed via splitmix64, as the
+// xoshiro authors recommend.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the generator state from seed.
+func (r *RNG) Seed(seed uint64) {
+	for i := range r.s {
+		r.s[i] = SplitMix64(&seed)
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// IntN returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) IntN(n int) int {
+	if n <= 0 {
+		panic("xrand: IntN with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform integer in [lo, hi]. Requires lo <= hi.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: Range with hi < lo")
+	}
+	return lo + r.IntN(hi-lo+1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// FixedBool returns true with probability prob/65535, matching the
+// fixed-point probability encoding used by program call sites and
+// branch biases.
+func (r *RNG) FixedBool(prob uint16) bool {
+	return uint16(r.Uint64()&0xFFFF) < prob || prob == 0xFFFF
+}
+
+// Zipf draws from a discrete Zipf-like distribution over [0, n) with
+// exponent s, using inverse-CDF over precomputed weights held by the
+// caller. For hot-path use, prefer WeightedChoice with cached cumulative
+// weights; this helper exists for small n.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse transform on the harmonic CDF computed on the fly; n is
+	// small (request types, dispatch fan-outs), so the loop is cheap.
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	u := r.Float64() * total
+	var acc float64
+	for i := 1; i <= n; i++ {
+		acc += 1 / math.Pow(float64(i), s)
+		if u < acc {
+			return i - 1
+		}
+	}
+	return n - 1
+}
+
+// ZipfWeights returns normalised Zipf weights over [0,n) with exponent s,
+// for callers that need a cached request-mix distribution.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var total float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// Cumulative converts weights into a cumulative distribution for
+// WeightedChoice. The final entry is forced to 1 to absorb rounding.
+func Cumulative(weights []float64) []float64 {
+	c := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		c[i] = acc
+	}
+	if len(c) > 0 {
+		c[len(c)-1] = 1
+	}
+	return c
+}
+
+// WeightedChoice draws an index from a cumulative distribution produced
+// by Cumulative.
+func (r *RNG) WeightedChoice(cum []float64) int {
+	u := r.Float64()
+	// Binary search for the first entry >= u.
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

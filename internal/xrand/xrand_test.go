@@ -1,0 +1,174 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestMixIndependence(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix(1, i)
+		if seen[h] {
+			t.Fatalf("Mix collision at %d", i)
+		}
+		seen[h] = true
+	}
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Error("Mix is order-insensitive")
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.IntN(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("Range(10,20) = %d", v)
+		}
+	}
+	if r.Range(5, 5) != 5 {
+		t.Error("degenerate range must return its only value")
+	}
+}
+
+func TestFloat64Distribution(t *testing.T) {
+	r := New(9)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", p)
+	}
+}
+
+func TestFixedBoolEdges(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		if r.FixedBool(0) {
+			t.Fatal("FixedBool(0) returned true")
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if !r.FixedBool(0xFFFF) {
+			t.Fatal("FixedBool(max) returned false")
+		}
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.FixedBool(0x8000) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.5) > 0.01 {
+		t.Errorf("FixedBool(0x8000) rate = %v, want ~0.5", p)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(8, 0.9)
+	var total float64
+	for i := range w {
+		total += w[i]
+		if i > 0 && w[i] > w[i-1] {
+			t.Errorf("Zipf weights not decreasing at %d", i)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("Zipf weights sum to %v", total)
+	}
+	u := ZipfWeights(4, 0)
+	for _, v := range u {
+		if math.Abs(v-0.25) > 1e-9 {
+			t.Errorf("zero-exponent Zipf not uniform: %v", u)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	cum := Cumulative([]float64{0.5, 0.3, 0.2})
+	r := New(17)
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.WeightedChoice(cum)]++
+	}
+	want := []float64{0.5, 0.3, 0.2}
+	for i, c := range counts {
+		if p := float64(c) / n; math.Abs(p-want[i]) > 0.01 {
+			t.Errorf("choice %d rate %v, want %v", i, p, want[i])
+		}
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	r := New(19)
+	if r.Zipf(1, 1.0) != 0 {
+		t.Error("Zipf(1) must return 0")
+	}
+	for i := 0; i < 100; i++ {
+		v := r.Zipf(5, 0.8)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
