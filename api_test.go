@@ -104,8 +104,44 @@ func TestNilOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	var o *Options
-	rc := o.runConfig()
+	rc, err := o.runConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rc.MeasureInstr == 0 {
 		t.Error("nil options produced empty config")
+	}
+}
+
+func TestFaultOptionParsing(t *testing.T) {
+	o := &Options{Fault: "tag-flip:0.001:7"}
+	rc, err := o.runConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Fault.Enabled() || rc.Fault.Rate != 0.001 || rc.Fault.Seed != 7 {
+		t.Errorf("fault spec misparsed: %+v", rc.Fault)
+	}
+	bad := &Options{Fault: "no-such-class"}
+	if _, err := bad.runConfig(); err == nil {
+		t.Error("invalid fault spec accepted")
+	}
+	if _, err := Simulate("gin", FDIP, bad); err == nil {
+		t.Error("Simulate accepted an invalid fault spec")
+	}
+}
+
+func TestSimulateUnderFault(t *testing.T) {
+	o := quickOpt()
+	o.Fault = "bundle-corrupt"
+	st, err := Simulate("gin", Hierarchical, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IPC <= 0 {
+		t.Error("zero IPC under injection")
+	}
+	if st.TagDrops == 0 {
+		t.Error("bundle corruption dropped no tags — injection inert?")
 	}
 }

@@ -7,6 +7,8 @@
 //	hpsim -experiment all                  # the whole evaluation
 //	hpsim -workload tidb-tpcc -scheme Hierarchical
 //	hpsim -experiment fig9 -quick          # fast smoke run
+//	hpsim -experiment degradation -quick   # fault-injection degradation table
+//	hpsim -workload gin -fault tag-flip:0.001
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "fast smoke configuration")
 		only       = flag.String("workloads", "", "comma-separated workload subset for experiments")
 		format     = flag.String("format", "text", "experiment output: text or csv")
+		faultSpec  = flag.String("fault", "", "inject a fault: class[:rate[:seed]] with class in "+strings.Join(hprefetch.FaultClasses(), ", "))
 	)
 	flag.Parse()
 
@@ -35,6 +38,7 @@ func main() {
 		WarmInstructions:    *warm,
 		MeasureInstructions: *measure,
 		Quick:               *quick,
+		Fault:               *faultSpec,
 	}
 	if *only != "" {
 		opt.Workloads = strings.Split(*only, ",")
@@ -48,6 +52,10 @@ func main() {
 		}
 		fmt.Printf("workload:  %s\nscheme:    %s\nmachine:   %s\n", st.Workload, st.Scheme, hprefetch.MachineDescription())
 		fmt.Printf("IPC:       %.3f  (%+.1f%% vs FDIP)\n", st.IPC, st.SpeedupOverFDIP*100)
+		if *faultSpec != "" {
+			fmt.Printf("faults:    %s  (loader tag drops %d, bundle rejects %d)\n",
+				*faultSpec, st.TagDrops, st.BundleRejects)
+		}
 		fmt.Printf("branches:  %.2f MPKI   L1-I clean misses: %.2f MPKI\n", st.BranchMPKI, st.L1IMPKI)
 		if st.Scheme != hprefetch.FDIP && st.Scheme != hprefetch.PerfectL1I {
 			fmt.Printf("prefetch:  acc %.1f%%  covL1 %.1f%%  covL2 %.1f%%  late %.1f%%  dist %.1f blocks\n",

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 
+	"hprefetch/internal/fault"
 	"hprefetch/internal/harness"
 	"hprefetch/internal/sim"
 	"hprefetch/internal/workloads"
@@ -65,13 +66,27 @@ type Options struct {
 	// Quick trades precision for speed: shorter runs and a
 	// representative workload subset. Good for smoke tests.
 	Quick bool
+	// Fault injects a deterministic fault into every run, specified as
+	// "class[:rate[:seed]]" — e.g. "bundle-corrupt", "tag-flip:0.001",
+	// "mshr-starve:0.5:7". Empty injects nothing. See FaultClasses.
+	Fault string
+}
+
+// FaultClasses lists the fault classes Options.Fault accepts.
+func FaultClasses() []string {
+	cs := fault.Classes()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = string(c)
+	}
+	return out
 }
 
 // runConfig converts Options into the harness configuration.
-func (o *Options) runConfig() harness.RunConfig {
+func (o *Options) runConfig() (harness.RunConfig, error) {
 	rc := harness.DefaultRunConfig()
 	if o == nil {
-		return rc
+		return rc, nil
 	}
 	if o.Quick {
 		rc = harness.QuickRunConfig()
@@ -85,7 +100,14 @@ func (o *Options) runConfig() harness.RunConfig {
 	if len(o.Workloads) > 0 {
 		rc.Workloads = o.Workloads
 	}
-	return rc
+	if o.Fault != "" {
+		cfg, err := fault.ParseSpec(o.Fault)
+		if err != nil {
+			return rc, err
+		}
+		rc.Fault = cfg
+	}
+	return rc, nil
 }
 
 // RunStats summarises one simulation.
@@ -113,11 +135,19 @@ type RunStats struct {
 	// per kilo-instruction.
 	BranchMPKI float64
 	L1IMPKI    float64
+	// TagDrops and BundleRejects count Bundle hints discarded by the
+	// loader and the prefetcher's degraded-mode validation. Nonzero only
+	// under fault injection (Options.Fault).
+	TagDrops      int
+	BundleRejects uint64
 }
 
 // Simulate runs one workload under one scheme and returns its metrics.
 func Simulate(workload string, scheme Scheme, opt *Options) (RunStats, error) {
-	rc := opt.runConfig()
+	rc, err := opt.runConfig()
+	if err != nil {
+		return RunStats{}, err
+	}
 	r, err := harness.Run(workload, harness.Scheme(scheme), rc)
 	if err != nil {
 		return RunStats{}, err
@@ -135,6 +165,8 @@ func Simulate(workload string, scheme Scheme, opt *Options) (RunStats, error) {
 		AvgPrefetchDistance: r.Stats.PFAvgDistance(),
 		BranchMPKI:          r.Stats.MPKI(),
 		L1IMPKI:             r.Stats.L1IMPKI(),
+		TagDrops:            r.TagDrops,
+		BundleRejects:       r.BundleRejects,
 	}
 	if scheme != FDIP {
 		sp, err := harness.Speedup(workload, harness.Scheme(scheme), rc)
@@ -182,7 +214,11 @@ func ExperimentIDs() []string { return harness.ExperimentIDs() }
 
 // RunExperiment regenerates one of the paper's tables or figures.
 func RunExperiment(id string, opt *Options) (*Table, error) {
-	tbl, err := harness.Experiment(id, opt.runConfig())
+	rc, err := opt.runConfig()
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := harness.Experiment(id, rc)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +227,11 @@ func RunExperiment(id string, opt *Options) (*Table, error) {
 
 // RunAllExperiments regenerates every experiment in paper order.
 func RunAllExperiments(opt *Options) ([]*Table, error) {
-	tbls, err := harness.AllExperiments(opt.runConfig())
+	rc, err := opt.runConfig()
+	if err != nil {
+		return nil, err
+	}
+	tbls, err := harness.AllExperiments(rc)
 	out := make([]*Table, len(tbls))
 	for i, t := range tbls {
 		out[i] = fromInternal(t)

@@ -261,7 +261,9 @@ func (r *reader) need(n int) bool {
 	if r.err != nil {
 		return false
 	}
-	if r.off+n > len(r.buf) {
+	// n < 0 catches 32-bit int overflow of a hostile u32 length prefix;
+	// the subtraction form avoids overflowing r.off+n.
+	if n < 0 || n > len(r.buf)-r.off {
 		r.err = fmt.Errorf("binfmt: truncated image at offset %d (need %d of %d)", r.off, n, len(r.buf))
 		return false
 	}
@@ -310,16 +312,28 @@ func (r *reader) str() string {
 }
 func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
 
+// boolean accepts only the canonical 0/1 encodings, keeping the format
+// strict: every accepted image re-marshals to the identical bytes.
+func (r *reader) boolean() bool {
+	b := r.u8()
+	if r.err == nil && b > 1 {
+		r.err = fmt.Errorf("binfmt: invalid boolean byte %#x at offset %d", b, r.off-1)
+	}
+	return b != 0
+}
+
 // count reads a length prefix and sanity-checks it against the remaining
 // bytes, assuming each element needs at least minElem bytes, preventing
 // huge allocations from corrupt images.
 func (r *reader) count(minElem int) int {
-	n := int(r.u32())
-	if r.err == nil && n*minElem > len(r.buf)-r.off {
+	// 64-bit math throughout: a hostile prefix near 2^32 must not wrap
+	// the product (or the int conversion) on 32-bit platforms.
+	n := int64(r.u32())
+	if r.err == nil && n*int64(minElem) > int64(len(r.buf)-r.off) {
 		r.err = fmt.Errorf("binfmt: implausible element count %d at offset %d", n, r.off)
 		return 0
 	}
-	return n
+	return int(n)
 }
 
 // Unmarshal decodes an image, validating structure but not semantics.
@@ -369,7 +383,7 @@ func Unmarshal(data []byte) (*Image, error) {
 	im.TargetSets = make([]TargetSetRecord, 0, nts)
 	for i := 0; i < nts && r.err == nil; i++ {
 		var ts TargetSetRecord
-		ts.ByType = r.u8() != 0
+		ts.ByType = r.boolean()
 		n := r.count(4)
 		ts.Funcs = make([]isa.FuncID, 0, n)
 		for j := 0; j < n; j++ {
@@ -383,7 +397,7 @@ func Unmarshal(data []byte) (*Image, error) {
 		var s StageRecord
 		s.Name = r.str()
 		s.Func = isa.FuncID(r.u32())
-		s.Diverges = r.u8() != 0
+		s.Diverges = r.boolean()
 		n := r.count(4)
 		s.Handlers = make([]isa.FuncID, 0, n)
 		for j := 0; j < n; j++ {

@@ -7,6 +7,7 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 
 	"hprefetch/internal/isa"
@@ -92,15 +93,6 @@ func New(cfg Config) (*Table, error) {
 		age:   make([]uint8, n),
 		meta:  make([]LineMeta, n),
 	}, nil
-}
-
-// MustNew is New for static configurations.
-func MustNew(cfg Config) *Table {
-	t, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return t
 }
 
 // Config returns the table's configuration.
@@ -263,16 +255,27 @@ func (m *MSHRFile) Full() bool { return len(m.entries) >= m.cap }
 // Len returns the current occupancy.
 func (m *MSHRFile) Len() int { return len(m.entries) }
 
-// Add allocates an entry; it panics if the file is full or the block is
-// already tracked (callers must check first — hardware does).
-func (m *MSHRFile) Add(e *MSHR) {
+// ErrMSHROverflow and ErrMSHRDuplicate are the MSHR allocation
+// failures. Callers are expected to check Full/Lookup first (hardware
+// does), so hitting either at runtime means the caller's accounting has
+// drifted; surfacing it as an error lets a simulation run fail cleanly
+// instead of taking the whole process down.
+var (
+	ErrMSHROverflow  = errors.New("cache: MSHR file overflow")
+	ErrMSHRDuplicate = errors.New("cache: duplicate MSHR")
+)
+
+// Add allocates an entry. It returns ErrMSHROverflow when the file is
+// full and ErrMSHRDuplicate when the block is already tracked.
+func (m *MSHRFile) Add(e *MSHR) error {
 	if m.Full() {
-		panic("cache: MSHR file overflow")
+		return fmt.Errorf("%w (cap %d, block %#x)", ErrMSHROverflow, m.cap, uint64(e.Block))
 	}
 	if _, dup := m.entries[e.Block]; dup {
-		panic("cache: duplicate MSHR")
+		return fmt.Errorf("%w (block %#x)", ErrMSHRDuplicate, uint64(e.Block))
 	}
 	m.entries[e.Block] = e
+	return nil
 }
 
 // Remove deallocates the entry for block.

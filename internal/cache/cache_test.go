@@ -1,12 +1,23 @@
 package cache
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"hprefetch/internal/isa"
 	"hprefetch/internal/xrand"
 )
+
+// mustNew builds a table, failing the test on a bad configuration.
+func mustNew(t *testing.T, cfg Config) *Table {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
 
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Name: "x", Sets: 3, Ways: 2}); err == nil {
@@ -21,7 +32,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestLookupInsert(t *testing.T) {
-	c := MustNew(Config{Name: "l1i", Sets: 64, Ways: 8})
+	c := mustNew(t, Config{Name: "l1i", Sets: 64, Ways: 8})
 	if _, ok := c.Lookup(100); ok {
 		t.Error("cold hit")
 	}
@@ -40,7 +51,7 @@ func TestLookupInsert(t *testing.T) {
 }
 
 func TestInsertEvictsLRU(t *testing.T) {
-	c := MustNew(Config{Name: "t", Sets: 1, Ways: 2})
+	c := mustNew(t, Config{Name: "t", Sets: 1, Ways: 2})
 	c.Insert(1, LineMeta{})
 	c.Insert(2, LineMeta{})
 	c.Lookup(1) // make 2 the LRU
@@ -54,7 +65,7 @@ func TestInsertEvictsLRU(t *testing.T) {
 }
 
 func TestInsertExistingRefreshes(t *testing.T) {
-	c := MustNew(Config{Name: "t", Sets: 1, Ways: 2})
+	c := mustNew(t, Config{Name: "t", Sets: 1, Ways: 2})
 	c.Insert(1, LineMeta{Origin: OriginDemand})
 	c.Insert(2, LineMeta{})
 	if _, _, ev := c.Insert(1, LineMeta{Origin: OriginPF}); ev {
@@ -71,7 +82,7 @@ func TestInsertExistingRefreshes(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := MustNew(Config{Name: "t", Sets: 4, Ways: 2})
+	c := mustNew(t, Config{Name: "t", Sets: 4, Ways: 2})
 	c.Insert(9, LineMeta{Origin: OriginPF})
 	m, ok := c.Invalidate(9)
 	if !ok || m.Origin != OriginPF {
@@ -89,7 +100,7 @@ func TestInvalidate(t *testing.T) {
 // model over random traffic.
 func TestLRUAgainstReference(t *testing.T) {
 	const sets, ways = 4, 4
-	c := MustNew(Config{Name: "ref", Sets: sets, Ways: ways})
+	c := mustNew(t, Config{Name: "ref", Sets: sets, Ways: ways})
 	// Reference: per set, ordered slice of keys (front = MRU).
 	ref := make([][]uint64, sets)
 	rng := xrand.New(77)
@@ -148,7 +159,7 @@ func TestTableProperty(t *testing.T) {
 	// After inserting any sequence, a just-inserted key is always
 	// present and total valid entries never exceed capacity.
 	f := func(seed uint64, n uint16) bool {
-		c := MustNew(Config{Name: "q", Sets: 8, Ways: 2})
+		c := mustNew(t, Config{Name: "q", Sets: 8, Ways: 2})
 		rng := xrand.New(seed)
 		for i := 0; i < int(n%512); i++ {
 			k := uint64(rng.IntN(1000))
@@ -171,7 +182,7 @@ func TestTableProperty(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	c := MustNew(Config{Name: "t", Sets: 2, Ways: 2})
+	c := mustNew(t, Config{Name: "t", Sets: 2, Ways: 2})
 	c.Insert(1, LineMeta{})
 	c.Lookup(1)
 	c.Reset()
@@ -182,8 +193,12 @@ func TestReset(t *testing.T) {
 
 func TestMSHRFile(t *testing.T) {
 	m := NewMSHRFile(2)
-	m.Add(&MSHR{Block: 1, FillAt: 10})
-	m.Add(&MSHR{Block: 2, FillAt: 20})
+	if err := m.Add(&MSHR{Block: 1, FillAt: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(&MSHR{Block: 2, FillAt: 20}); err != nil {
+		t.Fatal(err)
+	}
 	if !m.Full() || m.Len() != 2 {
 		t.Error("capacity accounting wrong")
 	}
@@ -201,21 +216,32 @@ func TestMSHRFile(t *testing.T) {
 	}
 }
 
-func TestMSHRPanics(t *testing.T) {
+// TestMSHRAddErrors asserts allocation failures come back as typed
+// errors rather than panics, and that a failed Add leaves the file
+// unchanged.
+func TestMSHRAddErrors(t *testing.T) {
 	m := NewMSHRFile(1)
-	m.Add(&MSHR{Block: 1})
-	assertPanic(t, "overflow", func() { m.Add(&MSHR{Block: 2}) })
-	m2 := NewMSHRFile(4)
-	m2.Add(&MSHR{Block: 3})
-	assertPanic(t, "duplicate", func() { m2.Add(&MSHR{Block: 3}) })
-}
+	if err := m.Add(&MSHR{Block: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(&MSHR{Block: 2}); !errors.Is(err, ErrMSHROverflow) {
+		t.Errorf("overflow Add: err = %v, want ErrMSHROverflow", err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("failed Add changed occupancy: len = %d", m.Len())
+	}
+	if _, ok := m.Lookup(2); ok {
+		t.Error("failed Add installed the entry")
+	}
 
-func assertPanic(t *testing.T, name string, fn func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s: no panic", name)
-		}
-	}()
-	fn()
+	m2 := NewMSHRFile(4)
+	if err := m2.Add(&MSHR{Block: 3, FillAt: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Add(&MSHR{Block: 3}); !errors.Is(err, ErrMSHRDuplicate) {
+		t.Errorf("duplicate Add: err = %v, want ErrMSHRDuplicate", err)
+	}
+	if e, ok := m2.Lookup(3); !ok || e.FillAt != 7 {
+		t.Error("duplicate Add clobbered the original entry")
+	}
 }

@@ -161,17 +161,23 @@ type Hier struct {
 	curStat    *BundleStat
 	statStartC uint64
 
+	// Degraded-mode text bounds: tagged targets and replayed regions
+	// outside [textBase, textEnd) are treated as corrupted metadata.
+	// Zero bounds disable the check (trusting mode, the default).
+	textBase, textEnd isa.Addr
+
 	// Counters is cheap always-on diagnostics.
 	Counters struct {
-		Boundaries  uint64 // tagged instructions seen
-		MATHits     uint64 // replays started
-		ReplayEnds  uint64 // replays that ran a chain to its end
-		ChainBroken uint64 // replays killed by reclaimed segments
-		SegsLoaded  uint64 // segments streamed
-		PrefIssued  uint64 // prefetches handed to the machine
-		PaceStalls  uint64 // advance attempts blocked by pacing
-		LeadSum     uint64 // sum of per-advance replay leads (instr)
-		LeadCount   uint64
+		Boundaries    uint64 // tagged instructions seen
+		MATHits       uint64 // replays started
+		ReplayEnds    uint64 // replays that ran a chain to its end
+		ChainBroken   uint64 // replays killed by reclaimed segments
+		SegsLoaded    uint64 // segments streamed
+		PrefIssued    uint64 // prefetches handed to the machine
+		PaceStalls    uint64 // advance attempts blocked by pacing
+		LeadSum       uint64 // sum of per-advance replay leads (instr)
+		LeadCount     uint64
+		BundleRejects uint64 // malformed hints ignored (degraded mode)
 	}
 }
 
@@ -197,6 +203,37 @@ func New(cfg Config, m prefetch.Machine) *Hier {
 
 // Name identifies the scheme.
 func (h *Hier) Name() string { return "Hierarchical" }
+
+// SetTextBounds arms degraded-mode validation: the prefetcher is given
+// the text segment [base, end) and treats any Bundle hint pointing
+// outside it — or carried by a non-call/return instruction — as
+// corrupted metadata to ignore (counted in Counters.BundleRejects)
+// rather than trust. This is the hardware side of the channel contract:
+// bad software metadata degrades the prefetcher to FDIP, it never
+// redirects it.
+func (h *Hier) SetTextBounds(base, end isa.Addr) {
+	h.textBase, h.textEnd = base, end
+}
+
+// validBoundary vets a tagged retired event before it is allowed to
+// start a Bundle. The loader only tags call and return instructions
+// (§5.2); a tag on anything else, or a boundary target outside the text
+// segment, is a corrupted hint.
+func (h *Hier) validBoundary(ev *isa.BlockEvent) bool {
+	if !ev.Branch.IsCall() && ev.Branch != isa.BrRet {
+		return false
+	}
+	return h.inText(ev.Target)
+}
+
+// inText reports whether addr falls inside the armed text bounds
+// (always true in trusting mode).
+func (h *Hier) inText(addr isa.Addr) bool {
+	if h.textEnd <= h.textBase {
+		return true
+	}
+	return addr >= h.textBase && addr < h.textEnd
+}
 
 // NumSegments returns the Metadata Buffer capacity in segments.
 func (h *Hier) NumSegments() int { return len(h.segs) }
@@ -246,8 +283,12 @@ func (h *Hier) OnRetire(ev *isa.BlockEvent) {
 	h.pumpReplay()
 
 	if ev.Tagged {
-		h.Counters.Boundaries++
-		h.onBundleBoundary(ev.Target)
+		if !h.validBoundary(ev) {
+			h.Counters.BundleRejects++
+		} else {
+			h.Counters.Boundaries++
+			h.onBundleBoundary(ev.Target)
+		}
 	}
 }
 
@@ -458,6 +499,14 @@ func (h *Hier) pumpReplay() {
 			continue
 		}
 		r := &h.fifo[h.fifoIdx]
+		if h.bitIdx == 0 && !h.inText(r.Base.Addr()) {
+			// A replayed region pointing outside the text segment is
+			// corrupted metadata (a reclaimed or bit-rotted record):
+			// skip it instead of prefetching garbage addresses.
+			h.Counters.BundleRejects++
+			h.fifoIdx++
+			continue
+		}
 		for h.bitIdx < prefetch.RegionBlocks {
 			bit := h.bitIdx
 			h.bitIdx++

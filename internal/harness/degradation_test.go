@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hprefetch/internal/core"
+	"hprefetch/internal/fault"
+)
+
+// TestDegradationTableQuick runs the full degradation experiment on the
+// quick workload and checks the graceful-degradation contract: every
+// fault class completes without panics and keeps Hierarchical at or
+// above its same-fault FDIP baseline (within noise).
+func TestDegradationTableQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rc := quick()
+	tbl, err := DegradationTable(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1 + len(fault.Classes())
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d (clean + every fault class)", len(tbl.Rows), wantRows)
+	}
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "failed") {
+			t.Errorf("run failed under injection: %s", n)
+		}
+	}
+
+	// The speedup floor: ε covers simulation noise at quick run lengths.
+	const eps = 0.05
+	for _, c := range fault.Classes() {
+		sub := rc
+		sub.Fault = fault.Config{Class: c}
+		s, err := Speedup("gin", SchemeHier, sub)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if s < -eps {
+			t.Errorf("class %s: speedup %.1f%% fell below FDIP-ε", c, s*100)
+		}
+	}
+
+	// The bundle-table faults must actually have perturbed the channel.
+	for _, c := range []fault.Class{fault.ClassBundleCorrupt, fault.ClassBundleStale} {
+		sub := rc
+		sub.Fault = fault.Config{Class: c}
+		r, err := Run("gin", SchemeHier, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TagDrops == 0 {
+			t.Errorf("class %s: loader dropped no tags — injection inert?", c)
+		}
+	}
+}
+
+// TestDegradationSurvivesFailingRun asserts the suite completes when
+// one injected (workload, scheme) run errors: the failure becomes a
+// Notes entry, the remaining runs still produce rows.
+func TestDegradationSurvivesFailingRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rc := quick()
+	rc.Workloads = []string{"gin", "no-such-workload"}
+	tbl, err := DegradationTable(rc)
+	if err != nil {
+		t.Fatalf("suite aborted instead of degrading: %v", err)
+	}
+	if len(tbl.Rows) != 1+len(fault.Classes()) {
+		t.Errorf("rows = %d, want %d", len(tbl.Rows), 1+len(fault.Classes()))
+	}
+	failures := 0
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "no-such-workload") && strings.Contains(n, "failed") {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("failing run left no Notes entry")
+	}
+	for _, row := range tbl.Rows {
+		if got := row[len(row)-1]; got != "1/2" {
+			t.Errorf("row %q shows %q runs ok, want 1/2", row[0], got)
+		}
+	}
+}
+
+// TestRunRecoversPanics asserts a panic below harness.Run comes back as
+// an error, not a crash. An out-of-range MAT configuration makes the
+// Hierarchical core panic on construction.
+func TestRunRecoversPanics(t *testing.T) {
+	rc := quick()
+	bad := core.DefaultConfig()
+	bad.MATWays = 0 // division by zero inside core.New
+	rc.HierConfig = &bad
+	if _, err := Run("gin", SchemeHier, rc); err == nil {
+		t.Fatal("panicking run returned no error")
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("error %q does not mention the recovered panic", err)
+	}
+}

@@ -15,10 +15,14 @@ import (
 	"sync"
 
 	"hprefetch/internal/core"
+	"hprefetch/internal/fault"
+	"hprefetch/internal/isa"
+	"hprefetch/internal/loader"
 	"hprefetch/internal/prefetch/efetch"
 	"hprefetch/internal/prefetch/eip"
 	"hprefetch/internal/prefetch/mana"
 	"hprefetch/internal/sim"
+	"hprefetch/internal/trace"
 	"hprefetch/internal/workloads"
 )
 
@@ -59,6 +63,13 @@ type RunConfig struct {
 	HierConfig *core.Config
 	// TrackBundles turns on per-Bundle instrumentation (Table 4).
 	TrackBundles bool
+	// Fault injects a deterministic fault into the run (degradation
+	// experiments); the zero value injects nothing. Faults apply to
+	// every scheme — the FDIP baseline of a faulted comparison runs
+	// under the same machine-level faults, so speedups stay
+	// like-for-like (bundle-channel faults are naturally no-ops for
+	// schemes that ignore tags).
+	Fault fault.Config
 }
 
 // DefaultRunConfig mirrors the paper's warmup/measure protocol, scaled
@@ -92,6 +103,12 @@ func (rc *RunConfig) workloadList() []string {
 type Result struct {
 	Stats  *sim.Stats
 	Bundle core.Summary
+	// BundleRejects counts malformed Bundle hints the prefetcher
+	// ignored (Hierarchical runs only).
+	BundleRejects uint64
+	// TagDrops counts tagged addresses the loader discarded (faulted
+	// runs only).
+	TagDrops int
 }
 
 // key builds the memoisation key for a run.
@@ -99,6 +116,7 @@ func (rc *RunConfig) key(workload string, scheme Scheme) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%v", workload, scheme,
 		rc.WarmInstr, rc.MeasureInstr, rc.ManaLookahead, rc.EFetchLookahead, rc.TrackBundles)
+	fmt.Fprintf(h, "|%s|%g|%d", rc.Fault.Class, rc.Fault.Rate, rc.Fault.Seed)
 	fmt.Fprintf(h, "%+v", rc.Params)
 	if rc.HierConfig != nil {
 		fmt.Fprintf(h, "%+v", *rc.HierConfig)
@@ -119,6 +137,8 @@ func DropCache() {
 }
 
 // Run simulates one (workload, scheme) pair under rc, memoised.
+// Failures — including panics escaping the simulation — come back as
+// errors, so one bad run cannot take a whole experiment suite down.
 func Run(workload string, scheme Scheme, rc RunConfig) (*Result, error) {
 	k := rc.key(workload, scheme)
 	memoMu.Lock()
@@ -128,17 +148,54 @@ func Run(workload string, scheme Scheme, rc RunConfig) (*Result, error) {
 	}
 	memoMu.Unlock()
 
+	res, err := runOne(workload, scheme, rc)
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	memo[k] = res
+	memoMu.Unlock()
+	return res, nil
+}
+
+// runOne performs the simulation behind Run. Any panic raised inside
+// the stack (loader, engine, simulator, prefetcher) is recovered into a
+// wrapped error; only genuinely successful runs are memoised.
+func runOne(workload string, scheme Scheme, rc RunConfig) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("harness: %s/%s panicked: %v", workload, scheme, r)
+		}
+	}()
+
 	built, err := workloads.Build(workload)
 	if err != nil {
 		return nil, err
 	}
+
+	// Fault wiring: perturb the .bundles segment through the degraded
+	// loader path and hand the injector to the machine.
+	var inj *fault.Injector
+	ld := built.Loaded
+	if rc.Fault.Enabled() {
+		inj, err = fault.New(rc.Fault)
+		if err != nil {
+			return nil, err
+		}
+		ld = loader.LoadLinkedDegraded(built.Loaded.Prog, built.Linked.Image, inj.PerturbBundles)
+	}
+
 	prm := rc.Params
 	if scheme == SchemePerfect {
 		prm.PerfectL1I = true
 	}
-	m, err := sim.New(prm, built.NewEngine(), nil)
+	m, err := sim.New(prm, trace.New(ld, built.Workload.TraceSeed), nil)
 	if err != nil {
 		return nil, err
+	}
+	if inj != nil {
+		m.SetFaults(inj)
 	}
 	var hier *core.Hier
 	switch scheme {
@@ -165,20 +222,26 @@ func Run(workload string, scheme Scheme, rc RunConfig) (*Result, error) {
 		}
 		cfg.TrackStats = cfg.TrackStats || rc.TrackBundles
 		hier = core.New(cfg, m)
+		// Arm degraded-mode validation: the prefetcher knows the text
+		// bounds and refuses hints pointing elsewhere.
+		p := ld.Prog
+		hier.SetTextBounds(p.TextBase, p.TextBase+isa.Addr(p.TextSize))
 		m.SetPrefetcher(hier)
 	default:
 		return nil, fmt.Errorf("harness: unknown scheme %q", scheme)
 	}
-	m.Run(rc.WarmInstr)
+	if err := m.Run(rc.WarmInstr); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s warmup: %w", workload, scheme, err)
+	}
 	m.ResetStats()
-	m.Run(rc.MeasureInstr)
-	res := &Result{Stats: m.Stats()}
+	if err := m.Run(rc.MeasureInstr); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s measure: %w", workload, scheme, err)
+	}
+	res = &Result{Stats: m.Stats(), TagDrops: ld.TagDrops}
 	if hier != nil {
 		res.Bundle = hier.BundleSummary()
+		res.BundleRejects = hier.Counters.BundleRejects
 	}
-	memoMu.Lock()
-	memo[k] = res
-	memoMu.Unlock()
 	return res, nil
 }
 

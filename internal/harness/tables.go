@@ -204,6 +204,8 @@ func Experiment(id string, rc RunConfig) (*Table, error) {
 		return Table4BundleStats(rc)
 	case "ablation":
 		return Ablations(rc)
+	case "degradation":
+		return DegradationTable(rc)
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (fig1..fig17, table2..table4)", id)
 }
@@ -213,7 +215,7 @@ func ExperimentIDs() []string {
 	return []string{
 		"fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
-		"fig17", "table2", "table3", "table4", "ablation",
+		"fig17", "table2", "table3", "table4", "ablation", "degradation",
 	}
 }
 

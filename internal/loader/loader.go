@@ -54,6 +54,10 @@ type Loaded struct {
 	Entries []isa.FuncID
 	// Threshold echoes the link-time divergence threshold.
 	Threshold uint64
+	// TagDrops counts tagged addresses the loader discarded because
+	// they fell outside any function (degraded-mode loads only; the
+	// strict Load path errors instead).
+	TagDrops int
 }
 
 // Load reconstructs and validates a runnable program from a linked image.
@@ -102,5 +106,41 @@ func LoadLinked(prog *program.Program, im *binfmt.Image) *Loaded {
 		Tags:      NewTagSet(im.Bundles.TaggedAddrs),
 		Entries:   append([]isa.FuncID(nil), im.Bundles.Entries...),
 		Threshold: im.Bundles.Threshold,
+	}
+}
+
+// PerturbFn mutates a copy of the .bundles segment before the loader
+// applies it — the injection point for fault experiments. It must not
+// retain or modify its argument's backing arrays.
+type PerturbFn func(binfmt.BundleSegment) binfmt.BundleSegment
+
+// LoadLinkedDegraded is LoadLinked with a perturbation hook and lenient
+// validation: the segment is first passed through perturb (nil = as
+// is), then tagged addresses that land outside any function — the
+// signature of a stale or corrupted Bundle table — are dropped and
+// counted in TagDrops instead of failing the load. This models what a
+// production loader must do: a binary whose prefetch metadata is bad
+// still has to run, just without the bad hints.
+func LoadLinkedDegraded(prog *program.Program, im *binfmt.Image, perturb PerturbFn) *Loaded {
+	seg := im.Bundles
+	if perturb != nil {
+		seg = perturb(seg)
+	}
+	tags := seg.TaggedAddrs
+	drops := 0
+	kept := make([]isa.Addr, 0, len(tags))
+	for _, a := range tags {
+		if _, ok := prog.FuncAt(a); ok {
+			kept = append(kept, a)
+		} else {
+			drops++
+		}
+	}
+	return &Loaded{
+		Prog:      prog,
+		Tags:      NewTagSet(kept),
+		Entries:   append([]isa.FuncID(nil), seg.Entries...),
+		Threshold: seg.Threshold,
+		TagDrops:  drops,
 	}
 }

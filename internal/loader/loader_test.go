@@ -101,3 +101,52 @@ func TestLoadLinkedSharesProgram(t *testing.T) {
 		t.Error("LoadLinked lost tags")
 	}
 }
+
+// TestLoadLinkedDegraded asserts the lenient path applies the perturb
+// hook, drops out-of-function tags with a count, and never errors on a
+// corrupted Bundle table.
+func TestLoadLinkedDegraded(t *testing.T) {
+	p, im := linkedImage(t)
+
+	// Nil hook, clean table: identical to LoadLinked.
+	ld := LoadLinkedDegraded(p, im, nil)
+	if ld.TagDrops != 0 || ld.Tags.Len() != len(im.Bundles.TaggedAddrs) {
+		t.Fatalf("clean degraded load dropped %d of %d tags", ld.TagDrops, len(im.Bundles.TaggedAddrs))
+	}
+
+	// Hook that shoves half the tags outside the text segment.
+	rogue := isa.Addr(p.TextBase) + isa.Addr(p.TextSize) + 0x1000
+	perturb := func(seg binfmt.BundleSegment) binfmt.BundleSegment {
+		out := seg
+		out.TaggedAddrs = append([]isa.Addr(nil), seg.TaggedAddrs...)
+		for i := range out.TaggedAddrs {
+			if i%2 == 0 {
+				out.TaggedAddrs[i] = rogue
+			}
+		}
+		return out
+	}
+	before := len(im.Bundles.TaggedAddrs)
+	ld = LoadLinkedDegraded(p, im, perturb)
+	want := (before + 1) / 2
+	if ld.TagDrops != want {
+		t.Errorf("TagDrops = %d, want %d", ld.TagDrops, want)
+	}
+	if ld.Tags.Len() != before-want {
+		t.Errorf("kept %d tags, want %d", ld.Tags.Len(), before-want)
+	}
+	if ld.Tags.Contains(rogue) {
+		t.Error("out-of-function tag survived the degraded load")
+	}
+	// The original image must be untouched (the hook copies).
+	if len(im.Bundles.TaggedAddrs) != before {
+		t.Error("perturbation leaked into the source image")
+	}
+
+	// The strict path still refuses the same corruption.
+	im2 := *im
+	im2.Bundles = perturb(im.Bundles)
+	if _, err := Load(&im2); err == nil {
+		t.Error("strict Load accepted an out-of-function tag")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"hprefetch/internal/bpu"
 	"hprefetch/internal/cache"
+	"hprefetch/internal/fault"
 	"hprefetch/internal/isa"
 	"hprefetch/internal/prefetch"
 	"hprefetch/internal/trace"
@@ -40,6 +41,13 @@ type Machine struct {
 	bp  *bpu.Unit
 	pf  prefetch.Prefetcher
 	st  *Stats
+
+	// inj is the optional fault injector perturbing prefetch issue,
+	// fill latency and MSHR availability; nil injects nothing.
+	inj *fault.Injector
+	// err latches the first internal failure (e.g. MSHR bookkeeping
+	// drift); Run stops and returns it instead of panicking.
+	err error
 
 	specHist, archHist bpu.History
 	specRAS, archRAS   *bpu.RAS
@@ -102,6 +110,28 @@ func New(prm Params, eng *trace.Engine, pf prefetch.Prefetcher) (*Machine, error
 	if prm.PrefetchPerCycle <= 0 {
 		return nil, fmt.Errorf("sim: prefetch bandwidth must be positive")
 	}
+	if prm.MSHRs <= 0 {
+		return nil, fmt.Errorf("sim: MSHR file must have at least one entry")
+	}
+	if prm.ITLBWays <= 0 || prm.ITLBEntries%prm.ITLBWays != 0 {
+		return nil, fmt.Errorf("sim: ITLB %d entries not divisible into %d ways", prm.ITLBEntries, prm.ITLBWays)
+	}
+	l1i, err := cache.New(cache.Config{Name: "L1I", Sets: prm.L1ISets, Ways: prm.L1IWays})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	l2, err := cache.New(cache.Config{Name: "L2", Sets: prm.L2Sets, Ways: prm.L2Ways})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	llc, err := cache.New(cache.Config{Name: "LLC", Sets: prm.LLCSets, Ways: prm.LLCWays})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	itlb, err := cache.New(cache.Config{Name: "ITLB", Sets: prm.ITLBEntries / prm.ITLBWays, Ways: prm.ITLBWays})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	m := &Machine{
 		prm:        prm,
 		eng:        eng,
@@ -110,10 +140,10 @@ func New(prm Params, eng *trace.Engine, pf prefetch.Prefetcher) (*Machine, error
 		st:         NewStats(),
 		specRAS:    bpu.NewRAS(prm.BP.RASDepth),
 		archRAS:    bpu.NewRAS(prm.BP.RASDepth),
-		l1i:        cache.MustNew(cache.Config{Name: "L1I", Sets: prm.L1ISets, Ways: prm.L1IWays}),
-		l2:         cache.MustNew(cache.Config{Name: "L2", Sets: prm.L2Sets, Ways: prm.L2Ways}),
-		llc:        cache.MustNew(cache.Config{Name: "LLC", Sets: prm.LLCSets, Ways: prm.LLCWays}),
-		itlb:       cache.MustNew(cache.Config{Name: "ITLB", Sets: prm.ITLBEntries / prm.ITLBWays, Ways: prm.ITLBWays}),
+		l1i:        l1i,
+		l2:         l2,
+		llc:        llc,
+		itlb:       itlb,
 		mshr:       cache.NewMSHRFile(prm.MSHRs),
 		missLatEst: prm.LLCLatency * CycleScale,
 		ring:       make([]isa.BlockEvent, prm.FTQEntries+2),
@@ -131,6 +161,22 @@ func (m *Machine) Stats() *Stats { return m.st }
 // New(prm, eng, nil) followed by SetPrefetcher.
 func (m *Machine) SetPrefetcher(pf prefetch.Prefetcher) { m.pf = pf }
 
+// SetFaults attaches a fault injector (nil detaches). The injector is
+// deliberately kept out of Params so machine configuration stays a
+// plain comparable value.
+func (m *Machine) SetFaults(inj *fault.Injector) { m.inj = inj }
+
+// Err returns the first internal failure latched by the machine, if
+// any. Run also returns it.
+func (m *Machine) Err() error { return m.err }
+
+// fail latches the first internal error; Run surfaces it.
+func (m *Machine) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
 // Params returns the machine configuration.
 func (m *Machine) Params() Params { return m.prm }
 
@@ -146,17 +192,20 @@ func (m *Machine) ResetStats() {
 	m.itlb.Hits, m.itlb.Misses = 0, 0
 }
 
-// Run simulates until at least n more instructions have retired.
-func (m *Machine) Run(n uint64) {
+// Run simulates until at least n more instructions have retired. It
+// stops early and reports the failure if the machine's internal
+// bookkeeping ever breaks (statistics up to that point stay valid).
+func (m *Machine) Run(n uint64) error {
 	target := m.st.Instructions + n
 	startReq := m.eng.Requests()
-	for m.st.Instructions < target {
+	for m.st.Instructions < target && m.err == nil {
 		m.advanceCursor()
 		ev, wasInFTQ := m.popEvent()
 		m.fetch(&ev, wasInFTQ)
 	}
 	m.st.Requests += m.eng.Requests() - startReq
 	m.st.ScaledCycles = m.now + m.backendExtra - m.statsBase
+	return m.err
 }
 
 // ensure pulls engine events until ring position i exists.
@@ -312,6 +361,13 @@ func (m *Machine) fetch(ev *isa.BlockEvent, wasInFTQ bool) {
 	}
 
 	if m.pf != nil {
+		// Runtime tag fault: the Bundle-entry bit the prefetcher sees
+		// is inverted (ev is a local copy, so the flip is confined to
+		// this observation).
+		if m.inj != nil && m.inj.FlipTag() {
+			ev.Tagged = !ev.Tagged
+			m.st.FaultTagFlips++
+		}
 		m.pf.OnRetire(ev)
 	}
 }
@@ -555,7 +611,7 @@ func (m *Machine) fillPath(blk isa.Block, origin cache.Origin, demandLike bool) 
 	}
 	if _, hit := m.llc.Lookup(key); hit {
 		m.l2Fill(key, cache.LineMeta{Origin: origin})
-		return m.prm.LLCLatency, 3
+		return m.faultLatency(m.prm.LLCLatency), 3
 	}
 	switch origin {
 	case cache.OriginDemand:
@@ -567,7 +623,32 @@ func (m *Machine) fillPath(blk isa.Block, origin cache.Origin, demandLike bool) 
 	}
 	m.llc.Insert(key, cache.LineMeta{Origin: origin})
 	m.l2Fill(key, cache.LineMeta{Origin: origin})
-	return m.prm.MemLatency, 4
+	return m.faultLatency(m.prm.MemLatency), 4
+}
+
+// faultLatency applies injected LLC/memory latency jitter to a fill.
+func (m *Machine) faultLatency(lat uint64) uint64 {
+	if m.inj == nil {
+		return lat
+	}
+	if j := m.inj.JitterLatency(lat); j != lat {
+		m.st.FaultJitteredFills++
+		return j
+	}
+	return lat
+}
+
+// mshrFull reports whether no MSHR can currently be allocated, folding
+// in injected starvation (a co-runner holding entries).
+func (m *Machine) mshrFull() bool {
+	if m.mshr.Full() {
+		return true
+	}
+	if m.inj != nil && m.mshr.Len() >= m.prm.MSHRs-m.inj.MSHRReserve(m.prm.MSHRs) {
+		m.st.FaultMSHRBlocks++
+		return true
+	}
+	return false
 }
 
 // l2Fill inserts into the L2, spilling the victim line into the LLC so
@@ -608,10 +689,10 @@ func (m *Machine) issueFillSeq(blk isa.Block, origin cache.Origin, earliest uint
 		}
 		return false
 	}
-	if m.mshr.Full() {
+	if m.mshrFull() {
 		// Opportunistically retire completed fills, then give up.
 		m.drainMSHR()
-		if m.mshr.Full() {
+		if m.mshrFull() {
 			if origin == cache.OriginPF {
 				m.st.PFDropped++
 			}
@@ -640,19 +721,30 @@ func (m *Machine) issueFillSeq(blk isa.Block, origin cache.Origin, earliest uint
 	}
 
 	lat, level := m.fillPath(blk, origin, origin == cache.OriginFDIP)
+	if origin == cache.OriginPF && m.inj != nil {
+		if d := m.inj.DelayPrefetch(); d > 0 {
+			lat += d
+			m.st.FaultPFDelays++
+		}
+	}
 
 	if m.prm.PrefetchToL2 && origin == cache.OriginPF {
 		// §7.8: direct the evaluated prefetcher at the L2. fillPath has
 		// already installed the line there; only bandwidth was charged.
 		return true
 	}
-	m.mshr.Add(&cache.MSHR{
+	if err := m.mshr.Add(&cache.MSHR{
 		Block:    blk,
 		FillAt:   issueAt + lat*CycleScale,
 		Origin:   origin,
 		IssueSeq: seq,
 		Level:    uint8(level),
-	})
+	}); err != nil {
+		// Full/Lookup were checked above, so this means the machine's
+		// occupancy accounting has drifted; fail the run cleanly.
+		m.fail(fmt.Errorf("sim: %s fill of block %#x: %w", origin, uint64(blk), err))
+		return false
+	}
 	return true
 }
 
@@ -703,6 +795,11 @@ func (m *Machine) Prefetch(blk isa.Block) bool {
 	if m.prm.PerfectL1I {
 		return false
 	}
+	if m.inj != nil && m.inj.DropPrefetch() {
+		// Injected interconnect fault: the issue is silently lost.
+		m.st.FaultPFDrops++
+		return false
+	}
 	if m.l1i.Contains(uint64(blk)) {
 		m.st.PFRedundant++
 		return false
@@ -711,11 +808,11 @@ func (m *Machine) Prefetch(blk isa.Block) bool {
 		m.st.PFRedundant++
 		return false
 	}
-	if len(m.pfQueue) > 0 || m.mshr.Full() {
+	if len(m.pfQueue) > 0 || m.mshrFull() {
 		m.drainMSHR()
 		m.drainPFQueue()
 	}
-	if len(m.pfQueue) == 0 && !m.mshr.Full() {
+	if len(m.pfQueue) == 0 && !m.mshrFull() {
 		if m.issueFillSeq(blk, cache.OriginPF, m.now, m.blockSeq) {
 			m.st.PFIssued++
 			return true
@@ -738,7 +835,7 @@ func (m *Machine) PrefetchSpace() int {
 
 // drainPFQueue issues queued prefetches as MSHRs free up.
 func (m *Machine) drainPFQueue() {
-	for len(m.pfQueue) > 0 && !m.mshr.Full() {
+	for len(m.pfQueue) > 0 && !m.mshrFull() {
 		r := m.pfQueue[0]
 		m.pfQueue = m.pfQueue[1:]
 		if m.issueFillSeq(r.block, cache.OriginPF, m.now, r.seq) {

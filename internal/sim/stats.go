@@ -54,6 +54,13 @@ type Stats struct {
 	L2CoveredByPF uint64 // demand L2 hits on PF-installed lines
 	L2Beyond      uint64 // demand misses that went past the L2
 
+	// Fault-injection accounting (zero when no injector is attached).
+	FaultPFDrops       uint64 // prefetch issues lost at the machine boundary
+	FaultPFDelays      uint64 // prefetch fills given extra latency
+	FaultJitteredFills uint64 // LLC/memory fills with jittered latency
+	FaultMSHRBlocks    uint64 // allocations blocked by injected starvation
+	FaultTagFlips      uint64 // retired events with an inverted Bundle tag
+
 	// Bandwidth in blocks transferred from memory.
 	MemBlocksDemand uint64
 	MemBlocksFDIP   uint64

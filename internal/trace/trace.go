@@ -82,6 +82,10 @@ func (e *Engine) CurrentType() int { return e.curType }
 // Instructions returns the total instructions emitted so far.
 func (e *Engine) Instructions() uint64 { return e.instrs }
 
+// Depth returns the current simulated call-stack depth. The engine caps
+// it at maxCallDepth: deeper call edges are skipped, not executed.
+func (e *Engine) Depth() int { return len(e.stack) }
+
 // Next returns the next retired block event. The stream is unbounded:
 // the request loop restarts forever.
 func (e *Engine) Next() isa.BlockEvent {

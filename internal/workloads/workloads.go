@@ -207,15 +207,6 @@ func Get(name string) (Workload, error) {
 	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
-// MustGet is Get for known-good names.
-func MustGet(name string) Workload {
-	w, err := Get(name)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
-
 // Built is a generated, linked, loadable workload.
 type Built struct {
 	Workload Workload

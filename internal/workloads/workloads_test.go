@@ -24,13 +24,10 @@ func TestAllPresetsResolve(t *testing.T) {
 	}
 }
 
-func TestMustGetPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustGet did not panic on unknown name")
-		}
-	}()
-	MustGet("nope")
+func TestBuildUnknownNameErrors(t *testing.T) {
+	if _, err := Build("nope"); err == nil {
+		t.Error("Build accepted an unknown workload name")
+	}
 }
 
 func TestBuildSmallPresetAndMemoise(t *testing.T) {
