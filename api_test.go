@@ -3,6 +3,8 @@ package hprefetch
 import (
 	"strings"
 	"testing"
+
+	"hprefetch/internal/harness"
 )
 
 func quickOpt() *Options {
@@ -143,5 +145,40 @@ func TestSimulateUnderFault(t *testing.T) {
 	}
 	if st.TagDrops == 0 {
 		t.Error("bundle corruption dropped no tags — injection inert?")
+	}
+}
+
+// TestParallelSweepByteIdentical drives the public -parallel path:
+// pre-warmed concurrent sweeps must render exactly the tables a serial
+// sweep renders.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	opt := &Options{
+		WarmInstructions:    60_000,
+		MeasureInstructions: 120_000,
+		Workloads:           []string{"gin", "tidb-tpcc"},
+	}
+	ids := []string{"fig9", "table2"}
+	render := func(o *Options) string {
+		var b strings.Builder
+		for _, id := range ids {
+			tbl, err := RunExperiment(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.WriteString(tbl.String())
+		}
+		return b.String()
+	}
+
+	harness.DropCache()
+	serial := render(opt)
+
+	par := *opt
+	par.Parallel = 4
+	harness.DropCache()
+	parallel := render(&par)
+
+	if serial != parallel {
+		t.Fatalf("parallel sweep output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
 	}
 }

@@ -1,0 +1,83 @@
+// Command hpserved serves simulations over HTTP: a bounded job queue, a
+// worker pool executing harness runs concurrently, single-flight result
+// caching, per-job deadlines, and self-observation endpoints.
+//
+// Usage:
+//
+//	hpserved                             # listen on :8080, one worker per core
+//	hpserved -addr :9090 -workers 8 -queue 256
+//
+// API:
+//
+//	POST /v1/runs              submit {"workload","scheme",...} → 202 {id}
+//	GET  /v1/runs/{id}         poll (add ?wait=2s to block briefly)
+//	POST /v1/runs/{id}/cancel  cancel a queued or running job
+//	POST /v1/experiments/{id}  run a paper figure/table (fig9, table2, ...)
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text (add ?format=json for JSON)
+//
+// A full queue answers 429 with Retry-After — clients are expected to
+// back off and resubmit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hprefetch/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = one per CPU core)")
+		queue    = flag.Int("queue", 64, "job queue depth (full queue answers 429)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = default bound)")
+		timeout  = flag.Duration("timeout", 15*time.Minute, "default per-job deadline")
+		maxT     = flag.Duration("max-timeout", time.Hour, "ceiling for client-requested deadlines")
+		retained = flag.Int("retained", 1024, "finished jobs kept pollable")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxT,
+		MaxJobsRetained: *retained,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting connections, then cancel live
+	// jobs and drain the workers.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "hpserved: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx) //nolint:errcheck // best-effort drain
+		srv.Close()
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "hpserved: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "hpserved:", err)
+		os.Exit(1)
+	}
+	<-done
+}

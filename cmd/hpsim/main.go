@@ -5,6 +5,7 @@
 //
 //	hpsim -experiment fig9                 # regenerate one figure
 //	hpsim -experiment all                  # the whole evaluation
+//	hpsim -experiment all -parallel 8      # same tables, 8 cores
 //	hpsim -workload tidb-tpcc -scheme Hierarchical
 //	hpsim -experiment fig9 -quick          # fast smoke run
 //	hpsim -experiment degradation -quick   # fault-injection degradation table
@@ -31,6 +32,7 @@ func main() {
 		only       = flag.String("workloads", "", "comma-separated workload subset for experiments")
 		format     = flag.String("format", "text", "experiment output: text or csv")
 		faultSpec  = flag.String("fault", "", "inject a fault: class[:rate[:seed]] with class in "+strings.Join(hprefetch.FaultClasses(), ", "))
+		parallel   = flag.Int("parallel", 1, "concurrent simulations for experiment sweeps (tables stay byte-identical to a serial run)")
 	)
 	flag.Parse()
 
@@ -39,6 +41,7 @@ func main() {
 		MeasureInstructions: *measure,
 		Quick:               *quick,
 		Fault:               *faultSpec,
+		Parallel:            *parallel,
 	}
 	if *only != "" {
 		opt.Workloads = strings.Split(*only, ",")

@@ -1,18 +1,20 @@
 // Package harness regenerates every table and figure of the paper's
 // evaluation (§7). Each experiment is a function returning a Table of
 // rows matching what the paper plots; the bench suite at the repository
-// root invokes one per figure. Results are memoised per (workload,
-// scheme, parameter) within the process, so experiments that share runs
-// (most share the FDIP baseline) do not repeat them.
+// root invokes one per figure. Results are cached per (workload, scheme,
+// parameter) within the process — a size-bounded LRU behind a
+// single-flight Runner — so experiments that share runs (most share the
+// FDIP baseline) do not repeat them, and concurrent identical requests
+// perform exactly one simulation.
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
-	"sync"
 
 	"hprefetch/internal/core"
 	"hprefetch/internal/fault"
@@ -70,6 +72,23 @@ type RunConfig struct {
 	// like-for-like (bundle-channel faults are naturally no-ops for
 	// schemes that ignore tags).
 	Fault fault.Config
+
+	// Ctx, when non-nil, bounds every run performed under this
+	// configuration: cancellation or deadline expiry stops the
+	// simulator's cycle loop cooperatively. It rides inside the config
+	// (rather than a parameter) so the deadline reaches every
+	// harness.Run call an experiment makes without threading a context
+	// through each table generator. It is NOT part of the memoisation
+	// key.
+	Ctx context.Context
+}
+
+// context resolves the configured context.
+func (rc *RunConfig) context() context.Context {
+	if rc.Ctx != nil {
+		return rc.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultRunConfig mirrors the paper's warmup/measure protocol, scaled
@@ -124,44 +143,39 @@ func (rc *RunConfig) key(workload string, scheme Scheme) string {
 	return string(h.Sum(nil))
 }
 
-var (
-	memoMu sync.Mutex
-	memo   = map[string]*Result{}
-)
+// defaultRunner is the process-wide Runner behind the package-level Run:
+// a single-flight, LRU-bounded replacement for the old unbounded memo
+// map. Experiments, the CLI and the serving layer all share it, so
+// identical work is deduplicated across every entry point.
+var defaultRunner = NewRunner(DefaultCacheEntries)
 
-// DropCache clears memoised results (tests).
-func DropCache() {
-	memoMu.Lock()
-	defer memoMu.Unlock()
-	memo = map[string]*Result{}
-}
+// DefaultRunner returns the shared Runner (metrics endpoints read its
+// stats; servers tune its bound via SetCacheLimit).
+func DefaultRunner() *Runner { return defaultRunner }
 
-// Run simulates one (workload, scheme) pair under rc, memoised.
-// Failures — including panics escaping the simulation — come back as
-// errors, so one bad run cannot take a whole experiment suite down.
+// SetCacheLimit re-bounds the shared Runner's result cache (values < 1
+// restore DefaultCacheEntries).
+func SetCacheLimit(maxEntries int) { defaultRunner.SetLimit(maxEntries) }
+
+// CacheStats snapshots the shared Runner's counters.
+func CacheStats() RunnerStats { return defaultRunner.Stats() }
+
+// DropCache clears cached results and counters (tests).
+func DropCache() { defaultRunner.Reset() }
+
+// Run simulates one (workload, scheme) pair under rc through the shared
+// Runner: results are cached (bounded LRU), concurrent identical calls
+// share one simulation, and rc.Ctx cancels cooperatively. Failures —
+// including panics escaping the simulation — come back as errors, so one
+// bad run cannot take a whole experiment suite down.
 func Run(workload string, scheme Scheme, rc RunConfig) (*Result, error) {
-	k := rc.key(workload, scheme)
-	memoMu.Lock()
-	if r, ok := memo[k]; ok {
-		memoMu.Unlock()
-		return r, nil
-	}
-	memoMu.Unlock()
-
-	res, err := runOne(workload, scheme, rc)
-	if err != nil {
-		return nil, err
-	}
-	memoMu.Lock()
-	memo[k] = res
-	memoMu.Unlock()
-	return res, nil
+	return defaultRunner.Run(workload, scheme, rc)
 }
 
 // runOne performs the simulation behind Run. Any panic raised inside
 // the stack (loader, engine, simulator, prefetcher) is recovered into a
 // wrapped error; only genuinely successful runs are memoised.
-func runOne(workload string, scheme Scheme, rc RunConfig) (res *Result, err error) {
+func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -196,6 +210,9 @@ func runOne(workload string, scheme Scheme, rc RunConfig) (res *Result, err erro
 	}
 	if inj != nil {
 		m.SetFaults(inj)
+	}
+	if ctx != nil {
+		m.SetContext(ctx)
 	}
 	var hier *core.Hier
 	switch scheme {

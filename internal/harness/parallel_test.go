@@ -1,0 +1,41 @@
+package harness
+
+import "testing"
+
+// TestExperimentsParallelDeterministic verifies the satellite guarantee
+// of the -parallel sweep mode: tables produced with concurrent
+// experiment generators are byte-identical to a serial run.
+func TestExperimentsParallelDeterministic(t *testing.T) {
+	rc := quick()
+	rc.WarmInstr = 60_000
+	rc.MeasureInstr = 120_000
+	ids := []string{"fig9", "fig10", "table2"}
+
+	DropCache()
+	serial, err := Experiments(ids, rc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DropCache()
+	parallel, err := Experiments(ids, rc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(ids) || len(parallel) != len(ids) {
+		t.Fatalf("got %d serial / %d parallel tables, want %d", len(serial), len(parallel), len(ids))
+	}
+	for i := range ids {
+		s, p := serial[i].String(), parallel[i].String()
+		if s != p {
+			t.Errorf("%s differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s", ids[i], s, p)
+		}
+	}
+	// Parallelism must not have duplicated work: each distinct
+	// (workload, scheme) pair simulates once despite three concurrent
+	// generators sharing runs.
+	st := CacheStats()
+	if st.Misses == 0 || int(st.Misses) > st.Entries {
+		t.Fatalf("runner stats inconsistent after parallel sweep: %+v", st)
+	}
+}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubRunner returns a Runner whose simulations are replaced by fn, so
+// scheduling behaviour is observable without real runs.
+func stubRunner(max int, fn func(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (*Result, error)) *Runner {
+	r := NewRunner(max)
+	r.runFn = fn
+	return r
+}
+
+// TestRunnerSingleFlight is the regression test for the duplicate-work
+// race the old memo map had: two concurrent callers with the same key
+// both simulated (check-then-compute with no in-flight tracking). The
+// Runner must make the second caller wait and share the one result.
+func TestRunnerSingleFlight(t *testing.T) {
+	var runs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	r := stubRunner(8, func(ctx context.Context, w string, s Scheme, rc RunConfig) (*Result, error) {
+		if runs.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		return &Result{TagDrops: 42}, nil
+	})
+
+	rc := QuickRunConfig()
+	const callers = 8
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run("gin", SchemeFDIP, rc)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = res
+		}(i)
+	}
+	<-started // the leader is inside the simulation...
+	for r.Stats().SharedWaits < callers-1 {
+		// ...spin until every other caller has parked on its flight.
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical calls performed %d simulations, want 1", callers, got)
+	}
+	for i, res := range results {
+		if res != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+	st := r.Stats()
+	if st.Misses != 1 || st.SharedWaits != callers-1 {
+		t.Fatalf("stats %+v, want 1 miss and %d shared waits", st, callers-1)
+	}
+}
+
+// TestRunnerLRUBound verifies the cache cannot grow past its limit and
+// evicts least-recently-used results first.
+func TestRunnerLRUBound(t *testing.T) {
+	var runs atomic.Int64
+	r := stubRunner(2, func(ctx context.Context, w string, s Scheme, rc RunConfig) (*Result, error) {
+		runs.Add(1)
+		return &Result{}, nil
+	})
+	rc := QuickRunConfig()
+	for i, w := range []string{"a", "b", "c"} {
+		if _, err := r.Run(w, SchemeFDIP, rc); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Stats().Entries; got > 2 {
+			t.Fatalf("after insert %d: %d entries, bound is 2", i+1, got)
+		}
+	}
+	st := r.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction and 2 entries", st)
+	}
+	// "a" was evicted: running it again simulates; "c" is still cached.
+	if _, err := r.Run("c", SchemeFDIP, rc); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("cached re-run simulated (runs=%d)", got)
+	}
+	if _, err := r.Run("a", SchemeFDIP, rc); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 4 {
+		t.Fatalf("evicted entry not re-simulated (runs=%d)", got)
+	}
+}
+
+// TestRunnerErrorNotCached verifies failures are reported but never
+// cached, so a transient failure does not poison the key.
+func TestRunnerErrorNotCached(t *testing.T) {
+	var runs atomic.Int64
+	r := stubRunner(8, func(ctx context.Context, w string, s Scheme, rc RunConfig) (*Result, error) {
+		if runs.Add(1) == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return &Result{}, nil
+	})
+	rc := QuickRunConfig()
+	if _, err := r.Run("gin", SchemeFDIP, rc); err == nil {
+		t.Fatal("first run should fail")
+	}
+	if res, err := r.Run("gin", SchemeFDIP, rc); err != nil || res == nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("error was cached (runs=%d)", got)
+	}
+}
+
+// TestRunnerWaiterCancellation verifies a waiter whose context expires
+// stops waiting with its own error while the leader's run completes and
+// is cached for later callers.
+func TestRunnerWaiterCancellation(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	r := stubRunner(8, func(ctx context.Context, w string, s Scheme, rc RunConfig) (*Result, error) {
+		close(started)
+		<-release
+		return &Result{}, nil
+	})
+
+	rc := QuickRunConfig()
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := r.Run("gin", SchemeFDIP, rc)
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterRC := rc
+	waiterRC.Ctx = ctx
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := r.Run("gin", SchemeFDIP, waiterRC)
+		waiterDone <- err
+	}()
+	for r.Stats().SharedWaits == 0 {
+		// spin until the waiter has parked on the leader's flight
+	}
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	// The completed run is cached despite the waiter's departure.
+	if res, err := r.Run("gin", SchemeFDIP, rc); err != nil || res == nil {
+		t.Fatalf("post-flight lookup: %v", err)
+	}
+	if st := r.Stats(); st.Misses != 1 {
+		t.Fatalf("stats %+v, want exactly 1 miss", st)
+	}
+}
+
+// TestRunnerRealSingleFlight drives the real simulation path (no stub)
+// with concurrent identical requests under -race: exactly one simulation
+// happens and everyone shares its Result.
+func TestRunnerRealSingleFlight(t *testing.T) {
+	r := NewRunner(8)
+	rc := quick()
+	rc.WarmInstr = 100_000
+	rc.MeasureInstr = 200_000
+	const callers = 6
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run("gin", SchemeFDIP, rc)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 simulation for %d concurrent identical calls", st, callers)
+	}
+	for i, res := range results {
+		if res == nil || res != results[0] {
+			t.Fatalf("caller %d result %p differs from %p", i, res, results[0])
+		}
+	}
+}
+
+// TestWarmPopulatesCache verifies Warm fills the cache so a following
+// serial pass is pure hits.
+func TestWarmPopulatesCache(t *testing.T) {
+	var runs atomic.Int64
+	r := stubRunner(64, func(ctx context.Context, w string, s Scheme, rc RunConfig) (*Result, error) {
+		runs.Add(1)
+		return &Result{}, nil
+	})
+	rc := QuickRunConfig()
+	rc.Workloads = []string{"gin", "tidb-tpcc"}
+	r.Warm(rc, 4)
+	want := int64(2 * (len(Schemes()) + 1)) // schemes + PerfectL1I
+	if got := runs.Load(); got != want {
+		t.Fatalf("Warm performed %d runs, want %d", got, want)
+	}
+	before := runs.Load()
+	for _, w := range rc.Workloads {
+		for _, s := range Schemes() {
+			if _, err := r.Run(w, s, rc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := runs.Load(); got != before {
+		t.Fatalf("serial pass after Warm re-simulated (%d -> %d runs)", before, got)
+	}
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"hprefetch/internal/core"
 	"hprefetch/internal/workloads"
@@ -124,38 +125,71 @@ func Table4BundleStats(rc RunConfig) (*Table, error) {
 	return t, nil
 }
 
+// paperIDs are the evaluation's experiments in paper order — the set
+// cmd/hpsim's `all` mode regenerates (ablation and degradation are
+// extras, run by id only).
+var paperIDs = []string{
+	"fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
+	"fig17", "table2", "table3", "table4",
+}
+
 // AllExperiments runs every figure and table at the given configuration,
 // in paper order. It is the engine behind cmd/hpsim's `all` mode.
 func AllExperiments(rc RunConfig) ([]*Table, error) {
-	type gen func() (*Table, error)
-	gens := []gen{
-		func() (*Table, error) { return Fig1StageFootprints(rc) },
-		func() (*Table, error) { return Fig2aManaLookahead(rc, nil) },
-		func() (*Table, error) { return Fig2bEFetchLookahead(rc, nil) },
-		func() (*Table, error) { return Fig2cEIPDistance(rc) },
-		func() (*Table, error) { return Fig3DistanceAccuracyCoverage(rc) },
-		func() (*Table, error) { return Fig4TriggerSimilarity(rc, nil) },
-		func() (*Table, error) { return Fig9Speedup(rc) },
-		func() (*Table, error) { return Fig10LatePrefetches(rc) },
-		func() (*Table, error) { return Fig11MissLatency(rc) },
-		func() (*Table, error) { return Fig12LongRange(rc) },
-		func() (*Table, error) { return Fig13MetadataSensitivity(rc, nil, nil) },
-		func() (*Table, error) { return Fig14InfiniteBTB(rc) },
-		func() (*Table, error) { return Fig15aFTQ(rc, nil) },
-		func() (*Table, error) { return Fig15bITLB(rc, nil) },
-		func() (*Table, error) { return Fig16Bandwidth(rc) },
-		func() (*Table, error) { return Fig17L2Prefetch(rc) },
-		func() (*Table, error) { return Table2Summary(rc) },
-		func() (*Table, error) { return Table3L1ISweep(rc, nil) },
-		func() (*Table, error) { return Table4BundleStats(rc) },
-	}
-	var out []*Table
-	for _, g := range gens {
-		tbl, err := g()
-		if err != nil {
-			return out, err
+	return Experiments(paperIDs, rc, 1)
+}
+
+// AllExperimentsParallel is AllExperiments with up to parallel
+// experiment generators running concurrently.
+func AllExperimentsParallel(rc RunConfig, parallel int) ([]*Table, error) {
+	return Experiments(paperIDs, rc, parallel)
+}
+
+// Experiments runs the named experiments, with up to parallel generators
+// in flight at once (parallel <= 1 runs serially). Output is
+// deterministic regardless of scheduling: tables come back in ids order,
+// each table's rows are produced by its generator's own serial loop, and
+// the shared single-flight Runner guarantees concurrent generators that
+// need the same (workload, scheme) run share one simulation rather than
+// racing. On failure the tables for every id before the first failing
+// one are returned alongside the error.
+func Experiments(ids []string, rc RunConfig, parallel int) ([]*Table, error) {
+	if parallel <= 1 {
+		var out []*Table
+		for _, id := range ids {
+			tbl, err := Experiment(id, rc)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, tbl)
 		}
-		out = append(out, tbl)
+		return out, nil
+	}
+	type slot struct {
+		tbl *Table
+		err error
+	}
+	slots := make([]slot, len(ids))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tbl, err := Experiment(id, rc)
+			slots[i] = slot{tbl, err}
+		}(i, id)
+	}
+	wg.Wait()
+	var out []*Table
+	for i := range slots {
+		if slots[i].err != nil {
+			return out, slots[i].err
+		}
+		out = append(out, slots[i].tbl)
 	}
 	return out, nil
 }
@@ -212,11 +246,7 @@ func Experiment(id string, rc RunConfig) (*Table, error) {
 
 // ExperimentIDs lists valid Experiment identifiers in paper order.
 func ExperimentIDs() []string {
-	return []string{
-		"fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
-		"fig17", "table2", "table3", "table4", "ablation", "degradation",
-	}
+	return append(append([]string{}, paperIDs...), "ablation", "degradation")
 }
 
 // Ablations exercises the Hierarchical Prefetcher's design choices the

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hprefetch/internal/harness"
+)
+
+// latencyBucketsMS are the histogram upper bounds (milliseconds,
+// exponential-ish). The final implicit bucket is +Inf.
+var latencyBucketsMS = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 30_000, 60_000, 300_000,
+}
+
+// histogram is a fixed-bucket latency histogram. Guarded by the owning
+// Metrics' mutex.
+type histogram struct {
+	counts []uint64 // len(latencyBucketsMS)+1; last slot is +Inf
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBucketsMS)+1)}
+}
+
+func (h *histogram) observe(ms float64) {
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.counts[i]++
+	h.sum += ms
+	h.total++
+}
+
+// quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of
+// the bucket where the cumulative count crosses q. The +Inf bucket
+// reports the largest finite bound — a floor, but an honest one.
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(latencyBucketsMS) {
+				return latencyBucketsMS[i]
+			}
+			return latencyBucketsMS[len(latencyBucketsMS)-1]
+		}
+	}
+	return latencyBucketsMS[len(latencyBucketsMS)-1]
+}
+
+// Metrics holds the server's self-observation counters. Scalar counters
+// are atomics (hot path: one Add per event); histograms share one mutex
+// (touched once per completed job, far off the simulation's critical
+// path).
+type Metrics struct {
+	Accepted  atomic.Uint64 // jobs admitted to the queue
+	Rejected  atomic.Uint64 // submissions bounced with 429 (queue full)
+	Completed atomic.Uint64 // jobs finished successfully
+	Failed    atomic.Uint64 // jobs finished with an error
+	Canceled  atomic.Uint64 // jobs cancelled before or during execution
+
+	mu sync.Mutex
+	// latency histograms keyed by label: the scheme for run jobs,
+	// "experiment:<id>" for experiment jobs.
+	hist map[string]*histogram
+}
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{hist: map[string]*histogram{}}
+}
+
+// ObserveLatency records a completed job's execution latency.
+func (m *Metrics) ObserveLatency(label string, ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hist[label]
+	if !ok {
+		h = newHistogram()
+		m.hist[label] = h
+	}
+	h.observe(ms)
+}
+
+// LatencySummary is one label's latency digest.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// Snapshot is the JSON form of /metrics.
+type Snapshot struct {
+	Jobs struct {
+		Accepted  uint64 `json:"accepted"`
+		Rejected  uint64 `json:"rejected"`
+		Completed uint64 `json:"completed"`
+		Failed    uint64 `json:"failed"`
+		Canceled  uint64 `json:"canceled"`
+	} `json:"jobs"`
+	QueueDepth int `json:"queue_depth"`
+	Workers    int `json:"workers"`
+	Cache      struct {
+		Hits        uint64 `json:"hits"`
+		SharedWaits uint64 `json:"shared_waits"`
+		Misses      uint64 `json:"misses"`
+		Evictions   uint64 `json:"evictions"`
+		Entries     int    `json:"entries"`
+		InFlight    int    `json:"in_flight"`
+	} `json:"cache"`
+	Latency map[string]LatencySummary `json:"latency"`
+}
+
+// Snapshot captures every counter plus the shared Runner's cache stats.
+func (m *Metrics) Snapshot(queueDepth, workers int, cache harness.RunnerStats) Snapshot {
+	var s Snapshot
+	s.Jobs.Accepted = m.Accepted.Load()
+	s.Jobs.Rejected = m.Rejected.Load()
+	s.Jobs.Completed = m.Completed.Load()
+	s.Jobs.Failed = m.Failed.Load()
+	s.Jobs.Canceled = m.Canceled.Load()
+	s.QueueDepth = queueDepth
+	s.Workers = workers
+	s.Cache.Hits = cache.Hits
+	s.Cache.SharedWaits = cache.SharedWaits
+	s.Cache.Misses = cache.Misses
+	s.Cache.Evictions = cache.Evictions
+	s.Cache.Entries = cache.Entries
+	s.Cache.InFlight = cache.InFlight
+	s.Latency = map[string]LatencySummary{}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for label, h := range m.hist {
+		mean := 0.0
+		if h.total > 0 {
+			mean = h.sum / float64(h.total)
+		}
+		s.Latency[label] = LatencySummary{
+			Count:  h.total,
+			MeanMS: mean,
+			P50MS:  h.quantile(0.50),
+			P99MS:  h.quantile(0.99),
+		}
+	}
+	return s
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (stdlib only — no client library).
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("hpserved_jobs_accepted_total", "Jobs admitted to the queue.", s.Jobs.Accepted)
+	counter("hpserved_jobs_rejected_total", "Submissions rejected with 429 (queue full).", s.Jobs.Rejected)
+	counter("hpserved_jobs_completed_total", "Jobs finished successfully.", s.Jobs.Completed)
+	counter("hpserved_jobs_failed_total", "Jobs finished with an error.", s.Jobs.Failed)
+	counter("hpserved_jobs_canceled_total", "Jobs cancelled before or during execution.", s.Jobs.Canceled)
+	gauge("hpserved_queue_depth", "Jobs currently waiting in the queue.", s.QueueDepth)
+	gauge("hpserved_workers", "Size of the worker pool.", s.Workers)
+	counter("hpserved_cache_hits_total", "Simulations served from the result cache.", s.Cache.Hits)
+	counter("hpserved_cache_shared_waits_total", "Callers that shared an in-flight identical simulation.", s.Cache.SharedWaits)
+	counter("hpserved_cache_misses_total", "Simulations actually performed.", s.Cache.Misses)
+	counter("hpserved_cache_evictions_total", "Results displaced by the LRU bound.", s.Cache.Evictions)
+	gauge("hpserved_cache_entries", "Results currently cached.", s.Cache.Entries)
+	gauge("hpserved_cache_in_flight", "Simulations currently executing.", s.Cache.InFlight)
+
+	labels := make([]string, 0, len(s.Latency))
+	for l := range s.Latency {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	if len(labels) > 0 {
+		b.WriteString("# HELP hpserved_job_latency_ms Job execution latency quantiles (bucket-estimated).\n")
+		b.WriteString("# TYPE hpserved_job_latency_ms summary\n")
+		for _, l := range labels {
+			d := s.Latency[l]
+			fmt.Fprintf(&b, "hpserved_job_latency_ms{label=%q,quantile=\"0.5\"} %g\n", l, d.P50MS)
+			fmt.Fprintf(&b, "hpserved_job_latency_ms{label=%q,quantile=\"0.99\"} %g\n", l, d.P99MS)
+			fmt.Fprintf(&b, "hpserved_job_latency_ms_sum{label=%q} %g\n", l, d.MeanMS*float64(d.Count))
+			fmt.Fprintf(&b, "hpserved_job_latency_ms_count{label=%q} %d\n", l, d.Count)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,512 @@
+// Package service turns the experiment harness into a long-lived serving
+// system: an HTTP/JSON API over a bounded job queue and a worker pool,
+// with single-flight result caching (shared with every other harness
+// consumer in the process), per-job deadlines plumbed into the
+// simulator's cycle loop, and self-observation via /metrics.
+//
+// The flow: POST /v1/runs (or /v1/experiments/{id}) validates the
+// request, admits it to the queue — or bounces with 429 + Retry-After
+// when the queue is full, the server's backpressure signal — and returns
+// a job id. Workers (one per core by default) pull jobs, execute them
+// under a context deadline through harness.Run, and record the outcome;
+// clients poll GET /v1/runs/{id} (optionally blocking with ?wait=2s) and
+// may POST /v1/runs/{id}/cancel at any point before completion.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hprefetch/internal/fault"
+	"hprefetch/internal/harness"
+	"hprefetch/internal/workloads"
+)
+
+// Config sizes the server. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds the job queue; a full queue rejects submissions
+	// with 429 (default 64).
+	QueueDepth int
+	// CacheEntries re-bounds the shared harness result cache (default
+	// harness.DefaultCacheEntries).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that specify none (default 15m);
+	// MaxTimeout clamps client-requested deadlines (default 1h).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxJobsRetained bounds how many finished jobs stay pollable
+	// (default 1024).
+	MaxJobsRetained int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = harness.DefaultCacheEntries
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 15 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = time.Hour
+	}
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 1024
+	}
+	return c
+}
+
+// Server is the simulation-serving subsystem. Create with New, expose
+// via Handler, stop with Close.
+type Server struct {
+	cfg     Config
+	queue   chan *Job
+	store   *jobStore
+	metrics *Metrics
+	start   time.Time
+	nextID  atomic.Uint64
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	harness.SetCacheLimit(cfg.CacheEntries)
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		store:   newJobStore(cfg.MaxJobsRetained),
+		metrics: NewMetrics(),
+		start:   time.Now(),
+		closed:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (tests and embedders).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops accepting work, cancels every live job, and waits for the
+// workers to drain.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		// Cancel whatever is queued or running; workers observe the
+		// cancellation cooperatively and exit. Queued jobs go terminal
+		// right here.
+		for _, v := range s.store.list() {
+			if j, ok := s.store.get(v.ID); ok {
+				if j.requestCancel() == cancelledQueued {
+					s.metrics.Canceled.Add(1)
+				}
+			}
+		}
+	})
+	s.wg.Wait()
+	// Drain job pointers the workers never reached (their jobs are
+	// already terminal from the cancellation sweep above).
+	for {
+		select {
+		case j := <-s.queue:
+			if j.finish(JobCanceled, "server closed") {
+				s.metrics.Canceled.Add(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// worker executes queued jobs until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case j := <-s.queue:
+			s.execute(j)
+		}
+	}
+}
+
+// execute runs one job under its deadline and records the outcome.
+func (s *Server) execute(j *Job) {
+	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
+	defer cancel()
+	if !j.begin(cancel) {
+		// Cancelled while queued; requestCancel already finished and
+		// counted it.
+		return
+	}
+	started := time.Now()
+
+	var err error
+	switch j.Kind {
+	case "run":
+		err = s.execRun(ctx, j)
+	case "experiment":
+		err = s.execExperiment(ctx, j)
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.Kind)
+	}
+
+	switch {
+	case err == nil:
+		j.finish(JobDone, "")
+		s.metrics.Completed.Add(1)
+		s.metrics.ObserveLatency(j.latencyLabel(), float64(time.Since(started).Microseconds())/1000)
+	case errors.Is(err, context.Canceled):
+		j.finish(JobCanceled, err.Error())
+		s.metrics.Canceled.Add(1)
+	default:
+		j.finish(JobFailed, err.Error())
+		s.metrics.Failed.Add(1)
+	}
+}
+
+// latencyLabel buckets a job for the latency histograms: the scheme for
+// runs, "experiment:<id>" for experiments.
+func (j *Job) latencyLabel() string {
+	if j.Kind == "experiment" {
+		return "experiment:" + j.Req.Experiment
+	}
+	return j.Req.Scheme
+}
+
+// execRun performs a (workload, scheme) simulation plus its FDIP
+// baseline (for the speedup column) through the shared Runner.
+func (s *Server) execRun(ctx context.Context, j *Job) error {
+	rc := j.rc
+	rc.Ctx = ctx
+	scheme := harness.Scheme(j.Req.Scheme)
+	r, err := harness.Run(j.Req.Workload, scheme, rc)
+	if err != nil {
+		return err
+	}
+	out := &RunResult{
+		Workload:         j.Req.Workload,
+		Scheme:           j.Req.Scheme,
+		IPC:              r.Stats.IPC(),
+		Instructions:     r.Stats.Instructions,
+		BranchMPKI:       r.Stats.MPKI(),
+		L1IMPKI:          r.Stats.L1IMPKI(),
+		PrefetchAccuracy: r.Stats.PFAccuracy(),
+		CoverageL1:       r.Stats.PFCoverageL1(),
+		CoverageL2:       r.Stats.PFCoverageL2(),
+		LateFraction:     r.Stats.PFLateFraction(),
+		AvgDistance:      r.Stats.PFAvgDistance(),
+	}
+	if scheme != harness.SchemeFDIP {
+		sp, err := harness.Speedup(j.Req.Workload, scheme, rc)
+		if err != nil {
+			return err
+		}
+		out.SpeedupOverFDIP = sp
+	}
+	j.mu.Lock()
+	j.run = out
+	j.mu.Unlock()
+	return nil
+}
+
+// execExperiment regenerates one paper table; the deadline reaches every
+// simulation the experiment performs via rc.Ctx.
+func (s *Server) execExperiment(ctx context.Context, j *Job) error {
+	rc := j.rc
+	rc.Ctx = ctx
+	tbl, err := harness.Experiment(j.Req.Experiment, rc)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.table = &TableResult{
+		ID:     tbl.ID,
+		Title:  tbl.Title,
+		Header: tbl.Header,
+		Rows:   tbl.Rows,
+		Notes:  tbl.Notes,
+		Text:   tbl.String(),
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handlePollRun)
+	mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancelRun)
+	mux.HandleFunc("POST /v1/experiments/{id}", s.handleSubmitExperiment)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// validSchemes is the accepted Scheme set.
+func validSchemes() map[string]bool {
+	out := map[string]bool{string(harness.SchemePerfect): true}
+	for _, sc := range harness.Schemes() {
+		out[string(sc)] = true
+	}
+	return out
+}
+
+// buildRunConfig validates req and resolves it into a harness
+// configuration plus the job deadline.
+func (s *Server) buildRunConfig(req *RunRequest) (harness.RunConfig, time.Duration, error) {
+	rc := harness.DefaultRunConfig()
+	if req.Quick {
+		rc = harness.QuickRunConfig()
+		rc.Workloads = nil // Quick trims run length; workloads stay explicit
+	}
+	if req.WarmInstr > 0 {
+		rc.WarmInstr = req.WarmInstr
+	}
+	if req.MeasureInstr > 0 {
+		rc.MeasureInstr = req.MeasureInstr
+	}
+	if len(req.Workloads) > 0 {
+		for _, w := range req.Workloads {
+			if _, err := workloads.Get(w); err != nil {
+				return rc, 0, err
+			}
+		}
+		rc.Workloads = req.Workloads
+	}
+	if req.Fault != "" {
+		cfg, err := fault.ParseSpec(req.Fault)
+		if err != nil {
+			return rc, 0, err
+		}
+		rc.Fault = cfg
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return rc, timeout, nil
+}
+
+// submit admits a validated job to the queue, or rejects it with 429
+// when the queue is full (backpressure) / 503 when closing.
+func (s *Server) submit(w http.ResponseWriter, j *Job) {
+	select {
+	case <-s.closed:
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	default:
+	}
+	select {
+	case s.queue <- j:
+		s.store.put(j)
+		s.metrics.Accepted.Add(1)
+		w.Header().Set("Location", "/v1/runs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j.View())
+	default:
+		s.metrics.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"queue full (%d jobs waiting); retry later", len(s.queue))
+	}
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, "workload is required (one of %s)",
+			strings.Join(workloads.Names(), ", "))
+		return
+	}
+	if _, err := workloads.Get(req.Workload); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Scheme == "" {
+		req.Scheme = string(harness.SchemeHier)
+	}
+	if !validSchemes()[req.Scheme] {
+		writeError(w, http.StatusBadRequest, "unknown scheme %q", req.Scheme)
+		return
+	}
+	rc, timeout, err := s.buildRunConfig(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.submit(w, s.newJob("run", req, rc, timeout))
+}
+
+func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !experimentKnown(id) {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (one of %s)",
+			id, strings.Join(harness.ExperimentIDs(), ", "))
+		return
+	}
+	var req RunRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req.Experiment = id
+	req.Workload, req.Scheme = "", "" // experiment jobs name no single pair
+	rc, timeout, err := s.buildRunConfig(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.submit(w, s.newJob("experiment", req, rc, timeout))
+}
+
+// newJob allocates a Job with the next id.
+func (s *Server) newJob(kind string, req RunRequest, rc harness.RunConfig, timeout time.Duration) *Job {
+	return &Job{
+		ID:        newJobID(s.nextID.Add(1)),
+		Kind:      kind,
+		Req:       req,
+		rc:        rc,
+		timeout:   timeout,
+		state:     JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+}
+
+func (s *Server) handlePollRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if waitSpec := r.URL.Query().Get("wait"); waitSpec != "" {
+		d, err := time.ParseDuration(waitSpec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad wait duration %q: %v", waitSpec, err)
+			return
+		}
+		if d > 30*time.Second {
+			d = 30 * time.Second
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(d):
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	switch j.requestCancel() {
+	case cancelNoop:
+		writeJSON(w, http.StatusConflict, j.View())
+	case cancelledQueued:
+		s.metrics.Canceled.Add(1)
+		writeJSON(w, http.StatusAccepted, j.View())
+	case cancellingRunning:
+		writeJSON(w, http.StatusAccepted, j.View())
+	}
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.list()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"workers":     s.cfg.Workers,
+		"queue_depth": len(s.queue),
+		"uptime_ms":   time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot(len(s.queue), s.cfg.Workers, harness.CacheStats())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, snap.Prometheus()) //nolint:errcheck // client went away
+}
+
+// decodeBody parses an optional JSON body (empty bodies are fine) and
+// rejects unknown fields so typos fail loudly.
+func decodeBody(body io.Reader, v *RunRequest) error {
+	data, err := io.ReadAll(io.LimitReader(body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// experimentKnown reports whether id is a valid experiment identifier.
+func experimentKnown(id string) bool {
+	for _, e := range harness.ExperimentIDs() {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}

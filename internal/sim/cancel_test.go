@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancel verifies cooperative cancellation: a cancelled
+// context stops Run with ctx.Err() long before the instruction target,
+// and the machine stays usable afterwards.
+func TestRunContextCancel(t *testing.T) {
+	m, err := New(DefaultParams(), testEngine(t, 71), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.SetContext(ctx)
+	if err := m.Run(100_000_000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under cancelled context returned %v", err)
+	}
+	if got := m.Stats().Instructions; got >= 100_000_000 {
+		t.Fatalf("cancelled run still retired %d instructions", got)
+	}
+	// Detach and continue: the simulation itself is not poisoned.
+	m.SetContext(nil)
+	before := m.Stats().Instructions
+	if err := m.Run(50_000); err != nil {
+		t.Fatalf("Run after detach: %v", err)
+	}
+	if m.Stats().Instructions < before+50_000 {
+		t.Fatal("machine did not resume after cancellation")
+	}
+}
+
+// TestRunContextDeadline verifies a deadline interrupts a run mid-flight
+// instead of hanging until the instruction target is met.
+func TestRunContextDeadline(t *testing.T) {
+	m, err := New(DefaultParams(), testEngine(t, 72), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	m.SetContext(ctx)
+	start := time.Now()
+	err = m.Run(5_000_000_000) // far beyond what 30ms can simulate
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run under expired deadline returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, not cooperative", elapsed)
+	}
+}

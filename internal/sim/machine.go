@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"hprefetch/internal/bpu"
@@ -48,6 +49,10 @@ type Machine struct {
 	// err latches the first internal failure (e.g. MSHR bookkeeping
 	// drift); Run stops and returns it instead of panicking.
 	err error
+	// ctx, when non-nil, is polled every ctxCheckInterval retired events;
+	// cancellation or deadline expiry stops Run cleanly with the
+	// context's error. Statistics up to the stop stay valid.
+	ctx context.Context
 
 	specHist, archHist bpu.History
 	specRAS, archRAS   *bpu.RAS
@@ -170,6 +175,19 @@ func (m *Machine) SetFaults(inj *fault.Injector) { m.inj = inj }
 // any. Run also returns it.
 func (m *Machine) Err() error { return m.err }
 
+// ctxCheckInterval is how many fetch iterations pass between context
+// polls during Run. Checking every iteration would put an atomic load on
+// the simulator's hottest loop; at ~10M simulated instructions/second a
+// few thousand iterations keeps cancellation latency well under a
+// millisecond.
+const ctxCheckInterval = 4096
+
+// SetContext attaches a context to the machine. Run polls it
+// periodically and stops with ctx.Err() once it is cancelled or its
+// deadline passes (nil detaches, the default). The machine itself stays
+// valid — only the caller's patience ran out, not the simulation.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
+
 // fail latches the first internal error; Run surfaces it.
 func (m *Machine) fail(err error) {
 	if m.err == nil {
@@ -198,14 +216,25 @@ func (m *Machine) ResetStats() {
 func (m *Machine) Run(n uint64) error {
 	target := m.st.Instructions + n
 	startReq := m.eng.Requests()
+	var ctxErr error
+	var steps uint64
 	for m.st.Instructions < target && m.err == nil {
+		if m.ctx != nil && steps%ctxCheckInterval == 0 {
+			if ctxErr = m.ctx.Err(); ctxErr != nil {
+				break
+			}
+		}
+		steps++
 		m.advanceCursor()
 		ev, wasInFTQ := m.popEvent()
 		m.fetch(&ev, wasInFTQ)
 	}
 	m.st.Requests += m.eng.Requests() - startReq
 	m.st.ScaledCycles = m.now + m.backendExtra - m.statsBase
-	return m.err
+	if m.err != nil {
+		return m.err
+	}
+	return ctxErr
 }
 
 // ensure pulls engine events until ring position i exists.
