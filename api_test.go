@@ -33,6 +33,23 @@ func TestSimulateBaselineAndHier(t *testing.T) {
 	if hier.AvgPrefetchDistance <= 0 || hier.CoverageL1 <= 0 {
 		t.Errorf("prefetch metrics missing: %+v", hier)
 	}
+	if base.StatsDigest == "" || hier.StatsDigest == "" {
+		t.Error("runs carry no stats digest")
+	}
+	if base.StatsDigest == hier.StatsDigest {
+		t.Error("different schemes share a digest; fingerprint too coarse")
+	}
+	// Determinism at the public API: repeating a run reproduces the
+	// digest exactly (the underlying simulation is cached, but the
+	// digest is recomputed from its counters either way).
+	again, err := Simulate("gin", Hierarchical, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StatsDigest != hier.StatsDigest {
+		t.Errorf("digest drifted across identical Simulate calls: %q vs %q",
+			hier.StatsDigest, again.StatsDigest)
+	}
 }
 
 func TestSimulateUnknownWorkload(t *testing.T) {

@@ -10,6 +10,13 @@
 //	hpsim -experiment fig9 -quick          # fast smoke run
 //	hpsim -experiment degradation -quick   # fault-injection degradation table
 //	hpsim -workload gin -fault tag-flip:0.001
+//	hpsim -experiment table2 -quick -digest  # reproducibility fingerprints
+//
+// With -digest, hpsim prints one stable fingerprint line per result
+// instead of the full output. Simulations are deterministic, so the
+// digest output is byte-identical across independent process
+// invocations with the same flags; CI diffs two runs to catch
+// nondeterminism or unintended behaviour drift.
 package main
 
 import (
@@ -33,6 +40,7 @@ func main() {
 		format     = flag.String("format", "text", "experiment output: text or csv")
 		faultSpec  = flag.String("fault", "", "inject a fault: class[:rate[:seed]] with class in "+strings.Join(hprefetch.FaultClasses(), ", "))
 		parallel   = flag.Int("parallel", 1, "concurrent simulations for experiment sweeps (tables stay byte-identical to a serial run)")
+		digest     = flag.Bool("digest", false, "print stable result fingerprints instead of full output (reproducibility checks)")
 	)
 	flag.Parse()
 
@@ -53,6 +61,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *digest {
+			fmt.Printf("%s/%s\t%s\n", st.Workload, st.Scheme, st.StatsDigest)
+			return
+		}
 		fmt.Printf("workload:  %s\nscheme:    %s\nmachine:   %s\n", st.Workload, st.Scheme, hprefetch.MachineDescription())
 		fmt.Printf("IPC:       %.3f  (%+.1f%% vs FDIP)\n", st.IPC, st.SpeedupOverFDIP*100)
 		if *faultSpec != "" {
@@ -68,7 +80,7 @@ func main() {
 	case *experiment == "all":
 		tables, err := hprefetch.RunAllExperiments(opt)
 		for _, t := range tables {
-			emit(t, *format)
+			emit(t, *format, *digest)
 		}
 		if err != nil {
 			fatal(err)
@@ -78,14 +90,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		emit(t, *format)
+		emit(t, *format, *digest)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func emit(t *hprefetch.Table, format string) {
+func emit(t *hprefetch.Table, format string, digest bool) {
+	if digest {
+		fmt.Printf("%s\t%s\n", t.ID, t.Digest())
+		return
+	}
 	if format == "csv" {
 		fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
 		return

@@ -154,6 +154,12 @@ type RunStats struct {
 	// under fault injection (Options.Fault).
 	TagDrops      int
 	BundleRejects uint64
+	// StatsDigest is a stable fingerprint of every counter the run
+	// produced. Simulations are deterministic: the same workload,
+	// scheme and options yield the same digest in any process, so two
+	// digests differing means behaviour changed (see EXPERIMENTS.md,
+	// "Determinism and digests").
+	StatsDigest string
 }
 
 // Simulate runs one workload under one scheme and returns its metrics.
@@ -181,6 +187,7 @@ func Simulate(workload string, scheme Scheme, opt *Options) (RunStats, error) {
 		L1IMPKI:             r.Stats.L1IMPKI(),
 		TagDrops:            r.TagDrops,
 		BundleRejects:       r.BundleRejects,
+		StatsDigest:         r.Stats.Digest(),
 	}
 	if scheme != FDIP {
 		sp, err := harness.Speedup(workload, harness.Scheme(scheme), rc)
@@ -213,6 +220,12 @@ func (t *Table) String() string { return t.internal().String() }
 
 // CSV renders the table as comma-separated values.
 func (t *Table) CSV() string { return t.internal().CSV() }
+
+// Digest returns a stable fingerprint of the table's full content.
+// Experiments are deterministic, so the digest is identical across
+// processes and machines for the same inputs; `hpsim -digest` prints
+// these for reproducibility checks.
+func (t *Table) Digest() string { return t.internal().Digest() }
 
 func (t *Table) internal() *harness.Table {
 	return &harness.Table{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}

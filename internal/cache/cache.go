@@ -143,13 +143,16 @@ func (t *Table) Peek(key uint64) (*LineMeta, bool) {
 
 // Insert installs key with the given metadata, returning the evicted key
 // and metadata if a valid line was displaced. Inserting an existing key
-// refreshes its metadata and LRU position instead.
+// refreshes its metadata and LRU position instead; the resident line's
+// Used bit survives the refresh — a re-install must not strip usefulness
+// credit already earned by a demand hit.
 func (t *Table) Insert(key uint64, meta LineMeta) (evictedKey uint64, evictedMeta LineMeta, evicted bool) {
 	base := t.set(key) * t.cfg.Ways
 	victim := 0
 	for w := 0; w < t.cfg.Ways; w++ {
 		i := base + w
 		if t.valid[i] && t.keys[i] == key {
+			meta.Used = meta.Used || t.meta[i].Used
 			t.meta[i] = meta
 			t.touch(base, w)
 			return 0, LineMeta{}, false
@@ -225,35 +228,53 @@ type MSHR struct {
 	Origin Origin
 	// IssueSeq is the retired-block sequence number at issue.
 	IssueSeq uint64
-	// Demanded marks that a demand access hit this entry while in
-	// flight (the prefetch was late).
-	Demanded bool
 	// Level records which hierarchy level serves the fill (2, 3, 4).
 	Level uint8
 }
 
-// MSHRFile tracks in-flight fills with bounded capacity.
+// MSHRFile tracks in-flight fills with bounded capacity. It is a fixed
+// array sized once at construction — hardware MSHR files are a handful
+// of entries, so linear probes beat a map on the simulator's hottest
+// path, steady-state operation never allocates, and (unlike a Go map)
+// every traversal order is deterministic: Drain retires completed fills
+// in (FillAt, Block) order, so downstream L1-I install and eviction
+// order is identical on every run of the same trace.
 type MSHRFile struct {
-	cap     int
-	entries map[isa.Block]*MSHR
+	entries []MSHR // fixed backing store, len == capacity
+	live    []bool // live[i]: entries[i] tracks an in-flight fill
+	n       int    // current occupancy
+	drain   []MSHR // scratch for Drain, reused across calls
 }
 
 // NewMSHRFile builds a file with the given capacity.
 func NewMSHRFile(capacity int) *MSHRFile {
-	return &MSHRFile{cap: capacity, entries: make(map[isa.Block]*MSHR, capacity)}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MSHRFile{
+		entries: make([]MSHR, capacity),
+		live:    make([]bool, capacity),
+		drain:   make([]MSHR, 0, capacity),
+	}
 }
 
-// Lookup returns the in-flight entry for block, if any.
+// Lookup returns the in-flight entry for block, if any. The pointer
+// aims into the file's backing store: it is valid until the entry is
+// removed (or drained) and its slot reused by a later Add.
 func (m *MSHRFile) Lookup(b isa.Block) (*MSHR, bool) {
-	e, ok := m.entries[b]
-	return e, ok
+	for i := range m.entries {
+		if m.live[i] && m.entries[i].Block == b {
+			return &m.entries[i], true
+		}
+	}
+	return nil, false
 }
 
 // Full reports whether no entry can be allocated.
-func (m *MSHRFile) Full() bool { return len(m.entries) >= m.cap }
+func (m *MSHRFile) Full() bool { return m.n >= len(m.entries) }
 
 // Len returns the current occupancy.
-func (m *MSHRFile) Len() int { return len(m.entries) }
+func (m *MSHRFile) Len() int { return m.n }
 
 // ErrMSHROverflow and ErrMSHRDuplicate are the MSHR allocation
 // failures. Callers are expected to check Full/Lookup first (hardware
@@ -265,32 +286,79 @@ var (
 	ErrMSHRDuplicate = errors.New("cache: duplicate MSHR")
 )
 
-// Add allocates an entry. It returns ErrMSHROverflow when the file is
-// full and ErrMSHRDuplicate when the block is already tracked.
+// Add allocates an entry (copying *e into the file). It returns
+// ErrMSHROverflow when the file is full and ErrMSHRDuplicate when the
+// block is already tracked.
 func (m *MSHRFile) Add(e *MSHR) error {
 	if m.Full() {
-		return fmt.Errorf("%w (cap %d, block %#x)", ErrMSHROverflow, m.cap, uint64(e.Block))
+		return fmt.Errorf("%w (cap %d, block %#x)", ErrMSHROverflow, len(m.entries), uint64(e.Block))
 	}
-	if _, dup := m.entries[e.Block]; dup {
-		return fmt.Errorf("%w (block %#x)", ErrMSHRDuplicate, uint64(e.Block))
+	free := -1
+	for i := range m.entries {
+		if !m.live[i] {
+			if free < 0 {
+				free = i
+			}
+		} else if m.entries[i].Block == e.Block {
+			return fmt.Errorf("%w (block %#x)", ErrMSHRDuplicate, uint64(e.Block))
+		}
 	}
-	m.entries[e.Block] = e
+	m.entries[free] = *e
+	m.live[free] = true
+	m.n++
 	return nil
 }
 
-// Remove deallocates the entry for block.
-func (m *MSHRFile) Remove(b isa.Block) { delete(m.entries, b) }
-
-// Drain calls fn for every entry whose fill has completed by now and
-// removes it. fn receives the completed entry.
-func (m *MSHRFile) Drain(now uint64, fn func(*MSHR)) {
-	for b, e := range m.entries {
-		if e.FillAt <= now {
-			delete(m.entries, b)
-			fn(e)
+// Remove deallocates the entry for block. The slot's contents stay in
+// place until a later Add reuses it, so a pointer obtained from Lookup
+// just before Remove still reads the removed entry's fields.
+func (m *MSHRFile) Remove(b isa.Block) {
+	for i := range m.entries {
+		if m.live[i] && m.entries[i].Block == b {
+			m.live[i] = false
+			m.n--
+			return
 		}
 	}
 }
 
+// Drain calls fn for every entry whose fill has completed by now and
+// removes it. Completed entries are handed to fn in (FillAt, Block)
+// order — the order the fills actually arrive, ties broken by block —
+// so the caller's install/eviction sequence is deterministic. Entries
+// are deallocated before the first callback, so fn may Add.
+func (m *MSHRFile) Drain(now uint64, fn func(*MSHR)) {
+	done := m.drain[:0]
+	for i := range m.entries {
+		if m.live[i] && m.entries[i].FillAt <= now {
+			m.live[i] = false
+			m.n--
+			done = append(done, m.entries[i])
+		}
+	}
+	// Insertion sort: the file holds a handful of entries and completed
+	// batches are near-sorted already.
+	for i := 1; i < len(done); i++ {
+		for j := i; j > 0 && earlier(&done[j], &done[j-1]); j-- {
+			done[j], done[j-1] = done[j-1], done[j]
+		}
+	}
+	for i := range done {
+		fn(&done[i])
+	}
+	m.drain = done[:0]
+}
+
+// earlier orders completed fills by arrival time, then block.
+func earlier(a, b *MSHR) bool {
+	if a.FillAt != b.FillAt {
+		return a.FillAt < b.FillAt
+	}
+	return a.Block < b.Block
+}
+
 // Reset clears all entries.
-func (m *MSHRFile) Reset() { clear(m.entries) }
+func (m *MSHRFile) Reset() {
+	clear(m.live)
+	m.n = 0
+}

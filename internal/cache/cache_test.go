@@ -81,6 +81,52 @@ func TestInsertExistingRefreshes(t *testing.T) {
 	}
 }
 
+func TestInsertRefreshPreservesUsed(t *testing.T) {
+	c := mustNew(t, Config{Name: "t", Sets: 1, Ways: 2})
+	c.Insert(1, LineMeta{Origin: OriginPF, IssueSeq: 5})
+	m, _ := c.Lookup(1)
+	m.Used = true
+	// A re-install (e.g. a redundant fill completing) must not strip the
+	// usefulness credit the line already earned.
+	c.Insert(1, LineMeta{Origin: OriginPF, IssueSeq: 9})
+	m2, ok := c.Peek(1)
+	if !ok || !m2.Used {
+		t.Fatalf("refresh dropped Used bit: %+v", m2)
+	}
+	if m2.IssueSeq != 9 {
+		t.Errorf("refresh kept stale IssueSeq %d, want 9", m2.IssueSeq)
+	}
+	// An unused line stays unused across a refresh.
+	c.Insert(2, LineMeta{Origin: OriginFDIP})
+	c.Insert(2, LineMeta{Origin: OriginFDIP})
+	if m3, _ := c.Peek(2); m3.Used {
+		t.Error("refresh invented a Used bit")
+	}
+}
+
+// TestInsertVictimTieBreaks pins the deterministic victim choice when
+// several ways are equally eligible: fills take the lowest-index invalid
+// way, and equal-age LRU ties evict the lowest-index way.
+func TestInsertVictimTieBreaks(t *testing.T) {
+	c := mustNew(t, Config{Name: "t", Sets: 1, Ways: 4})
+	c.Insert(10, LineMeta{})
+	c.Insert(20, LineMeta{})
+	if c.keys[0] != 10 || c.keys[1] != 20 || c.valid[2] || c.valid[3] {
+		t.Fatalf("invalid-way fills not lowest-index-first: keys=%v valid=%v", c.keys, c.valid)
+	}
+	c.Insert(30, LineMeta{})
+	c.Insert(40, LineMeta{})
+	// Force an exact age tie across all valid ways; the eviction must
+	// deterministically take way 0.
+	for w := 0; w < 4; w++ {
+		c.age[w] = 7
+	}
+	k, _, ev := c.Insert(99, LineMeta{})
+	if !ev || k != 10 {
+		t.Errorf("equal-age eviction took %d (evicted=%v), want way-0 key 10", k, ev)
+	}
+}
+
 func TestInvalidate(t *testing.T) {
 	c := mustNew(t, Config{Name: "t", Sets: 4, Ways: 2})
 	c.Insert(9, LineMeta{Origin: OriginPF})
@@ -213,6 +259,80 @@ func TestMSHRFile(t *testing.T) {
 	m.Remove(2)
 	if m.Len() != 0 {
 		t.Error("remove failed")
+	}
+}
+
+// TestMSHRDrainOrder pins the deterministic retirement order: completed
+// fills come back sorted by (FillAt, Block) regardless of insertion
+// order — the property the L1-I install/eviction sequence depends on.
+func TestMSHRDrainOrder(t *testing.T) {
+	perms := [][]MSHR{
+		{{Block: 9, FillAt: 30}, {Block: 2, FillAt: 10}, {Block: 7, FillAt: 10}, {Block: 5, FillAt: 20}, {Block: 1, FillAt: 40}},
+		{{Block: 1, FillAt: 40}, {Block: 5, FillAt: 20}, {Block: 7, FillAt: 10}, {Block: 2, FillAt: 10}, {Block: 9, FillAt: 30}},
+		{{Block: 7, FillAt: 10}, {Block: 9, FillAt: 30}, {Block: 1, FillAt: 40}, {Block: 5, FillAt: 20}, {Block: 2, FillAt: 10}},
+	}
+	want := []isa.Block{2, 7, 5, 9} // (10,2) (10,7) (20,5) (30,9); block 1 still in flight
+	for pi, entries := range perms {
+		m := NewMSHRFile(8)
+		for i := range entries {
+			if err := m.Add(&entries[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []isa.Block
+		m.Drain(30, func(e *MSHR) { got = append(got, e.Block) })
+		if len(got) != len(want) {
+			t.Fatalf("perm %d: drained %v, want %v", pi, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("perm %d: drained %v, want %v", pi, got, want)
+			}
+		}
+		if m.Len() != 1 {
+			t.Errorf("perm %d: %d entries left, want 1", pi, m.Len())
+		}
+	}
+}
+
+// TestMSHRSlotReuse exercises the fixed-capacity file through
+// remove/re-add churn: slots free and refill without losing entries.
+func TestMSHRSlotReuse(t *testing.T) {
+	m := NewMSHRFile(3)
+	for b := isa.Block(1); b <= 3; b++ {
+		if err := m.Add(&MSHR{Block: b, FillAt: uint64(b) * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Remove(2)
+	if m.Full() || m.Len() != 2 {
+		t.Fatalf("after remove: len=%d full=%v", m.Len(), m.Full())
+	}
+	if err := m.Add(&MSHR{Block: 4, FillAt: 40}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []isa.Block{1, 3, 4} {
+		if _, ok := m.Lookup(b); !ok {
+			t.Errorf("block %d lost across slot reuse", b)
+		}
+	}
+	if _, ok := m.Lookup(2); ok {
+		t.Error("removed block still tracked")
+	}
+	// Drain callbacks may allocate: slots are freed before fn runs.
+	m.Drain(1<<62, func(e *MSHR) {
+		if e.Block == 1 {
+			if err := m.Add(&MSHR{Block: 8, FillAt: 80}); err != nil {
+				t.Errorf("Add during Drain: %v", err)
+			}
+		}
+	})
+	if _, ok := m.Lookup(8); !ok || m.Len() != 1 {
+		t.Errorf("entry added during drain lost: len=%d", m.Len())
+	}
+	m.Reset()
+	if m.Len() != 0 || m.Full() {
+		t.Error("reset incomplete")
 	}
 }
 

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_digests.json from the current behaviour")
+
+// goldenEntry is one committed (workload, scheme) fingerprint. IPC and
+// the late fraction ride along as formatted strings so a digest
+// mismatch comes with human-readable context in the diff.
+type goldenEntry struct {
+	Workload       string `json:"workload"`
+	Scheme         string `json:"scheme"`
+	Digest         string `json:"digest"`
+	IPC            string `json:"ipc"`
+	PFLateFraction string `json:"pf_late_fraction"`
+}
+
+const goldenPath = "testdata/golden_digests.json"
+
+// goldenRunConfig is the tiny, fixed configuration behind the committed
+// matrix. Changing anything here invalidates every golden digest —
+// refresh with `go test ./internal/harness -run TestGoldenDigestMatrix
+// -update` and commit the diff alongside the behaviour change that
+// caused it.
+func goldenRunConfig() RunConfig {
+	rc := DefaultRunConfig()
+	rc.WarmInstr = 200_000
+	rc.MeasureInstr = 400_000
+	rc.Workloads = []string{"gin", "tidb-tpcc"}
+	return rc
+}
+
+// goldenMatrix simulates the full scheme × workload mini-matrix with
+// fresh machines (bypassing the Runner cache, as a new process would).
+func goldenMatrix(t *testing.T) []goldenEntry {
+	t.Helper()
+	rc := goldenRunConfig()
+	var out []goldenEntry
+	for _, w := range rc.Workloads {
+		for _, s := range append(Schemes(), SchemePerfect) {
+			res, err := runOne(context.Background(), w, s, rc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, s, err)
+			}
+			out = append(out, goldenEntry{
+				Workload:       w,
+				Scheme:         string(s),
+				Digest:         res.Stats.Digest(),
+				IPC:            fmt.Sprintf("%.6f", res.Stats.IPC()),
+				PFLateFraction: fmt.Sprintf("%.6f", res.Stats.PFLateFraction()),
+			})
+		}
+	}
+	return out
+}
+
+// TestGoldenDigestMatrix locks the simulator's observable behaviour to
+// the committed fingerprints: any change to what any scheme measures on
+// any workload — intended or not — fails here and must be acknowledged
+// by refreshing the goldens with -update.
+func TestGoldenDigestMatrix(t *testing.T) {
+	got := goldenMatrix(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.FromSlash(goldenPath), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+	data, err := os.ReadFile(filepath.FromSlash(goldenPath))
+	if err != nil {
+		t.Fatalf("reading goldens (refresh with -update): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("matrix size %d, goldens have %d entries; refresh with -update", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s/%s drifted:\n  golden: %+v\n  got:    %+v",
+				want[i].Workload, want[i].Scheme, want[i], got[i])
+		}
+	}
+
+	// The matrix must exercise the late-prefetch metric: at least one
+	// scheme × workload reports a nonzero late fraction, guarding the
+	// regression where PFLateFraction silently read a dead counter.
+	anyLate := false
+	for _, e := range got {
+		if v, err := strconv.ParseFloat(e.PFLateFraction, 64); err == nil && v > 0 {
+			anyLate = true
+			break
+		}
+	}
+	if !anyLate {
+		t.Error("no golden run reports a late prefetch; PFLateFraction is dead again")
+	}
+}
+
+// TestRunOneFullStatsDeterministic is the cross-process stand-in: two
+// completely fresh simulations of the same pair must agree on every
+// counter, not just IPC.
+func TestRunOneFullStatsDeterministic(t *testing.T) {
+	rc := goldenRunConfig()
+	for _, s := range []Scheme{SchemeEIP, SchemeHier} {
+		a, err := runOne(context.Background(), "gin", s, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := runOne(context.Background(), "gin", s, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Stats, b.Stats) {
+			t.Errorf("%s: full Stats diverged:\n--- run A\n%s--- run B\n%s",
+				s, a.Stats.Canonical(), b.Stats.Canonical())
+		}
+	}
+}

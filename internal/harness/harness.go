@@ -12,6 +12,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"strings"
@@ -359,6 +360,24 @@ func mean(vs []float64) float64 {
 
 // sortStrings is a tiny alias used by experiments that aggregate maps.
 func sortStrings(s []string) { sort.Strings(s) }
+
+// Digest returns a stable fingerprint of the table's full content (id,
+// title, cells, notes). Experiments are deterministic functions of
+// their RunConfig, so the same experiment in two processes must yield
+// the same digest; CI diffs exactly this.
+func (t *Table) Digest() string {
+	h := fnv.New64a()
+	write := func(s string) { io.WriteString(h, s) } //nolint:errcheck // hash writes cannot fail
+	write(t.ID)
+	write("\n")
+	write(t.Title)
+	write("\n")
+	write(t.CSV())
+	for _, n := range t.Notes {
+		write("note:" + n + "\n")
+	}
+	return fmt.Sprintf("%s:%016x", sim.DigestPrefix, h.Sum64())
+}
 
 // CSV renders the table as comma-separated values (header first). Cells
 // containing commas or quotes are quoted.

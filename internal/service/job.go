@@ -66,6 +66,10 @@ type RunResult struct {
 	CoverageL2       float64 `json:"coverage_l2,omitempty"`
 	LateFraction     float64 `json:"late_fraction,omitempty"`
 	AvgDistance      float64 `json:"avg_prefetch_distance,omitempty"`
+	// StatsDigest fingerprints every counter of the run; identical
+	// requests to any server instance return identical digests, so
+	// clients can verify reproducibility end to end.
+	StatsDigest string `json:"stats_digest"`
 }
 
 // TableResult is a rendered experiment table for the API.

@@ -219,6 +219,7 @@ func (s *Server) execRun(ctx context.Context, j *Job) error {
 		CoverageL2:       r.Stats.PFCoverageL2(),
 		LateFraction:     r.Stats.PFLateFraction(),
 		AvgDistance:      r.Stats.PFAvgDistance(),
+		StatsDigest:      r.Stats.Digest(),
 	}
 	if scheme != harness.SchemeFDIP {
 		sp, err := harness.Speedup(j.Req.Workload, scheme, rc)

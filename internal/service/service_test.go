@@ -139,6 +139,16 @@ func TestSubmitPollResult(t *testing.T) {
 	if done.Result.Scheme != "Hierarchical" {
 		t.Fatalf("result scheme %q", done.Result.Scheme)
 	}
+	if done.Result.StatsDigest == "" {
+		t.Fatal("run response carries no stats digest")
+	}
+	// An identical resubmission must reproduce the digest exactly — the
+	// service-level determinism guarantee.
+	again := await(t, ts, submit(t, ts, tinyRun("Hierarchical")).ID, 2*time.Minute)
+	if again.State != JobDone || again.Result.StatsDigest != done.Result.StatsDigest {
+		t.Fatalf("digest drifted across identical submissions: %q vs %q",
+			done.Result.StatsDigest, again.Result.StatsDigest)
+	}
 }
 
 // TestSingleFlightDedup is the acceptance demo in miniature: concurrent

@@ -1,0 +1,88 @@
+package sim_test
+
+// Determinism tests: the paper's per-prefetch usefulness metrics only
+// mean something if two runs of the same trace agree on every counter,
+// not just IPC. These tests build everything fresh twice — engine,
+// machine, prefetcher — exactly as two separate processes would, and
+// require the *full* Stats to match bit for bit.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hprefetch/internal/prefetch"
+	"hprefetch/internal/sim"
+)
+
+// runFresh performs a short warm+measure run on a newly built stack.
+func runFresh(t *testing.T, seed uint64, s scheme) *sim.Stats {
+	t.Helper()
+	m, err := sim.New(sim.DefaultParams(), newEngine(t, seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf prefetch.Prefetcher
+	if s.mk != nil {
+		pf = s.mk(m)
+	}
+	if pf != nil {
+		m.SetPrefetcher(pf)
+	}
+	if err := m.Run(600_000); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+	if err := m.Run(1_200_000); err != nil {
+		t.Fatal(err)
+	}
+	return m.Stats()
+}
+
+func TestFullStatsDeterministicAcrossFreshMachines(t *testing.T) {
+	for _, s := range schemes() {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			a := runFresh(t, 91, s)
+			b := runFresh(t, 91, s)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("full Stats diverged between identical fresh runs:\n--- run A\n%s--- run B\n%s",
+					a.Canonical(), b.Canonical())
+			}
+			if da, db := a.Digest(), b.Digest(); da != db {
+				t.Errorf("digests diverged: %s vs %s", da, db)
+			}
+		})
+	}
+}
+
+func TestDigestReflectsEveryCounter(t *testing.T) {
+	a, b := sim.NewStats(), sim.NewStats()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical zero stats produced different digests")
+	}
+	b.PFUseless++
+	if a.Digest() == b.Digest() {
+		t.Error("digest blind to a counter change")
+	}
+	b.PFUseless--
+	b.PFDistHist[3]++
+	if a.Digest() == b.Digest() {
+		t.Error("digest blind to a histogram change")
+	}
+	// The canonical form names every field, so a digest mismatch can be
+	// diffed down to the counter that moved.
+	typ := reflect.TypeOf(sim.Stats{})
+	canon := a.Canonical()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if !fieldNamed(canon, name) {
+			t.Errorf("canonical form missing field %s", name)
+		}
+	}
+}
+
+// fieldNamed reports whether the canonical form has a "name=" line.
+func fieldNamed(canon, name string) bool {
+	return strings.HasPrefix(canon, name+"=") || strings.Contains(canon, "\n"+name+"=")
+}

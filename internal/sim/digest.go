@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"strings"
+)
+
+// DigestPrefix tags the digest algorithm so a future change of hash or
+// canonical form cannot be mistaken for a behaviour change.
+const DigestPrefix = "fnv1a64"
+
+// Canonical renders the statistics in a stable text form: one
+// `name=value` line per field, in struct declaration order, with array
+// and slice fields as comma-separated element lists. Every field is a
+// counter (integers only), so the form is bit-exact across platforms;
+// two runs are behaviourally identical if and only if their canonical
+// forms match. Adding, removing or renaming a Stats field changes the
+// canonical form by construction — reflection walks the struct — which
+// is deliberate: golden digests must flag any change in what a run
+// measures, intended or not.
+func (s *Stats) Canonical() string {
+	var b strings.Builder
+	v := reflect.ValueOf(*s)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i)
+		fmt.Fprintf(&b, "%s=", t.Field(i).Name)
+		switch f.Kind() {
+		case reflect.Slice, reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%v", f.Index(j).Interface())
+			}
+		default:
+			fmt.Fprintf(&b, "%v", f.Interface())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Digest returns a short stable fingerprint ("fnv1a64:<16 hex>") of the
+// canonical form. Two processes simulating the same workload, scheme
+// and configuration must produce identical digests; any drift means the
+// simulation is no longer deterministic or its behaviour changed.
+func (s *Stats) Digest() string {
+	h := fnv.New64a()
+	h.Write([]byte(s.Canonical())) //nolint:errcheck // hash writes cannot fail
+	return fmt.Sprintf("%s:%016x", DigestPrefix, h.Sum64())
+}

@@ -23,7 +23,7 @@ func TestHPDiagnostics(t *testing.T) {
 		t.Logf("avg replay lead at segment advance: %d instr over %d advances", c.LeadSum/c.LeadCount, c.LeadCount)
 	}
 	t.Logf("PF: issued=%d redundant=%d dropped=%d useful=%d late=%d useless=%d dist=%.1f",
-		st.PFIssued, st.PFRedundant, st.PFDropped, st.PFUseful, st.PFLate, st.PFUseless, st.PFAvgDistance())
+		st.PFIssued, st.PFRedundant, st.PFDropped, st.PFUseful, st.LatePF, st.PFUseless, st.PFAvgDistance())
 	t.Logf("demand: hits=%d misses=%d lateHits=%d | fdip issued=%d useful=%d late=%d",
 		st.L1IDemandHits, st.L1IDemandMisses, st.L1ILateHits, st.FDIPIssued, st.FDIPUseful, st.LateFDIP)
 	t.Logf("dist hist (buckets 2,4,8,16,32,64,128,256,inf): %v", st.PFDistHist)

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"hprefetch/internal/isa"
+)
+
+// TestLatePrefetchCountsLatePF forces the late-prefetch path: a demand
+// access hits a block whose evaluated-prefetcher fill is still in
+// flight. This must surface in LatePF — and therefore in
+// PFLateFraction and the PFCoverageL1 denominator — the metric that was
+// silently zero while the dead PFLate field absorbed nothing.
+func TestLatePrefetchCountsLatePF(t *testing.T) {
+	m, err := New(DefaultParams(), testEngine(t, 66), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := isa.Block(0x1234)
+	if !m.Prefetch(blk) {
+		t.Fatal("prefetch rejected on an empty machine")
+	}
+	e, ok := m.mshr.Lookup(blk)
+	if !ok {
+		t.Fatal("prefetch allocated no in-flight fill")
+	}
+	if e.FillAt <= m.now {
+		t.Fatalf("fill completes instantly (FillAt=%d now=%d); cannot be late", e.FillAt, m.now)
+	}
+
+	m.demandAccess(blk)
+
+	st := m.Stats()
+	if st.LatePF != 1 {
+		t.Fatalf("LatePF = %d after demand hit an in-flight PF fill, want 1", st.LatePF)
+	}
+	if st.L1ILateHits != 1 {
+		t.Errorf("L1ILateHits = %d, want 1", st.L1ILateHits)
+	}
+	if got := st.PFLateFraction(); got != 1.0 {
+		t.Errorf("PFLateFraction() = %v, want 1.0 (the only prefetch was late)", got)
+	}
+	if got := st.PFCoverageL1(); got != 0 {
+		t.Errorf("PFCoverageL1() = %v; a late prefetch is not full coverage", got)
+	}
+	if st.LatePFStallSum == 0 {
+		t.Error("late prefetch charged no residual stall")
+	}
+	if st.LatePFByLevel[e.Level] != 1 {
+		t.Errorf("LatePFByLevel[%d] = %d, want 1", e.Level, st.LatePFByLevel[e.Level])
+	}
+
+	// The line was installed; its first (late) use must not also count
+	// as fully useful.
+	if st.PFUseful != 0 {
+		t.Errorf("PFUseful = %d for a late-only prefetch, want 0", st.PFUseful)
+	}
+	if !m.l1i.Contains(uint64(blk)) {
+		t.Error("late fill never installed into the L1-I")
+	}
+}

@@ -17,7 +17,7 @@ func ledger(t *testing.T, name string, st *sim.Stats) {
 		float64(st.LatencyL2Sum)/48e3, float64(st.LatencyLLCSum)/48e3, float64(st.LatencyMemSum)/48e3,
 		st.TLBMisses, float64(st.TLBMisses)*35/1000,
 		st.BTBMissRedirects, st.CondMispredicts+st.IndirectMispredicts+st.RASMispredicts,
-		st.FDIPIssued, st.LateFDIP, st.PFIssued, st.PFUseful, st.PFUseless, st.PFLate)
+		st.FDIPIssued, st.LateFDIP, st.PFIssued, st.PFUseful, st.PFUseless, st.LatePF)
 	t.Logf("   late-FDIP by level L2/LLC/mem: %d/%d/%d  late-PF: %d/%d/%d",
 		st.LateFDIPByLevel[2], st.LateFDIPByLevel[3], st.LateFDIPByLevel[4],
 		st.LatePFByLevel[2], st.LatePFByLevel[3], st.LatePFByLevel[4])

@@ -37,18 +37,18 @@ type Stats struct {
 	// FDIP prefetch accounting.
 	FDIPIssued, FDIPUseful, FDIPUseless uint64
 
-	// Evaluated-prefetcher accounting.
-	PFIssued        uint64 // requests that allocated an MSHR/fill
-	PFRedundant     uint64 // dropped: already resident or in flight
-	PFDropped       uint64 // dropped: MSHR pressure
-	PFUseful        uint64 // first demand hit on a PF line (L1-I)
-	PFUseless       uint64 // PF line evicted unused
-	PFLate          uint64 // demand arrived while PF fill in flight
-	PFDistSum       uint64 // sum of distances (blocks) at first use
-	PFDistCount     uint64
-	PFDistHist      []uint64 // per DistanceBuckets: uses at that distance
-	PFDistUseful    []uint64 // useful at that distance
-	PFDistIssuedSum uint64
+	// Evaluated-prefetcher accounting. Late prefetches (a demand access
+	// arriving while the PF fill is still in flight) are counted once,
+	// in LatePF above, which the accessors below share.
+	PFIssued     uint64 // requests that allocated an MSHR/fill
+	PFRedundant  uint64 // dropped: already resident or in flight
+	PFDropped    uint64 // dropped: MSHR pressure
+	PFUseful     uint64 // first demand hit on a PF line (L1-I)
+	PFUseless    uint64 // PF line evicted unused
+	PFDistSum    uint64 // sum of distances (blocks) at first use
+	PFDistCount  uint64
+	PFDistHist   []uint64 // per DistanceBuckets: uses at that distance
+	PFDistUseful []uint64 // useful at that distance
 
 	// Coverage bookkeeping at the L2 (long-range view).
 	L2CoveredByPF uint64 // demand L2 hits on PF-installed lines
@@ -121,7 +121,7 @@ func (s *Stats) PFAccuracy() float64 {
 // PFCoverageL1 returns the fraction of would-be L1-I misses (beyond what
 // FDIP already covers) eliminated by the evaluated prefetcher.
 func (s *Stats) PFCoverageL1() float64 {
-	den := s.PFUseful + s.PFLate + s.L1IDemandMisses
+	den := s.PFUseful + s.LatePF + s.L1IDemandMisses
 	if den == 0 {
 		return 0
 	}
@@ -141,11 +141,11 @@ func (s *Stats) PFCoverageL2() float64 {
 // PFLateFraction returns the share of useful+late prefetches that were
 // late (Figure 10).
 func (s *Stats) PFLateFraction() float64 {
-	den := s.PFUseful + s.PFLate
+	den := s.PFUseful + s.LatePF
 	if den == 0 {
 		return 0
 	}
-	return float64(s.PFLate) / float64(den)
+	return float64(s.LatePF) / float64(den)
 }
 
 // PFAvgDistance returns the mean prefetch distance in blocks at first use.
