@@ -6,6 +6,7 @@
 //
 //	hpserved                             # listen on :8080, one worker per core
 //	hpserved -addr :9090 -workers 8 -queue 256
+//	hpserved -journal /var/lib/hp/jobs.wal   # durable job journal + replay
 //
 // API:
 //
@@ -16,8 +17,12 @@
 //	GET  /healthz              liveness
 //	GET  /metrics              Prometheus text (add ?format=json for JSON)
 //
-// A full queue answers 429 with Retry-After — clients are expected to
-// back off and resubmit.
+// A full queue answers 429 with a Retry-After derived from the observed
+// p90 job latency; an open circuit breaker (worker pool only producing
+// failures) answers 503. With -journal, every job transition is written
+// ahead to an append-only log and jobs that were queued or running at
+// shutdown/crash replay on the next start — determinism guarantees the
+// replayed runs produce identical stats digests.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"hprefetch/internal/fault"
 	"hprefetch/internal/service"
 )
 
@@ -42,17 +48,41 @@ func main() {
 		timeout  = flag.Duration("timeout", 15*time.Minute, "default per-job deadline")
 		maxT     = flag.Duration("max-timeout", time.Hour, "ceiling for client-requested deadlines")
 		retained = flag.Int("retained", 1024, "finished jobs kept pollable")
+
+		journal    = flag.String("journal", "", "write-ahead job journal path (empty = no durability)")
+		maxRetries = flag.Int("max-retries", 0, "default transient-failure retries per job (0 = built-in default)")
+		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight HTTP requests")
+		chaos      = flag.String("chaos", "", "service chaos spec, dev only: class[:rate[:seed]] (job-transient, worker-kill)")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxT,
 		MaxJobsRetained: *retained,
-	})
+		JournalPath:     *journal,
+		Retry:           service.RetryPolicy{MaxRetries: *maxRetries},
+	}
+	if *chaos != "" {
+		fc, err := fault.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpserved:", err)
+			os.Exit(2)
+		}
+		cfg.Chaos = fc
+	}
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpserved:", err)
+		os.Exit(1)
+	}
+	if n := srv.Metrics().Replayed.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "hpserved: replayed %d pending job(s) from %s\n", n, *journal)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -60,16 +90,19 @@ func main() {
 	}
 
 	// Graceful shutdown: stop accepting connections, then cancel live
-	// jobs and drain the workers.
+	// jobs and drain the workers. With a journal, jobs cut short here
+	// stay pending and replay on the next start.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		<-stop
 		fmt.Fprintln(os.Stderr, "hpserved: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainT)
 		defer cancel()
-		hs.Shutdown(ctx) //nolint:errcheck // best-effort drain
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "hpserved: shutdown:", err)
+		}
 		srv.Close()
 		close(done)
 	}()

@@ -49,6 +49,20 @@ const (
 	// ClassMSHRStarve periodically reserves most of the MSHR file,
 	// starving asynchronous fills (demand traffic from sibling threads).
 	ClassMSHRStarve Class = "mshr-starve"
+
+	// Service-level classes perturb the serving layer rather than the
+	// simulated machine: the chaos harness composes them with the
+	// simulator classes above to prove jobs survive infrastructure
+	// failures. They are no-ops inside a simulation.
+
+	// ClassJobTransient makes a job execution fail with a retryable
+	// (transient) error before the simulation starts — a stand-in for an
+	// environmental blip: an OOM kill, a filesystem hiccup, a dependency
+	// timeout.
+	ClassJobTransient Class = "job-transient"
+	// ClassWorkerKill panics the worker goroutine mid-job (the recovered
+	// equivalent of a worker process dying under the scheduler).
+	ClassWorkerKill Class = "worker-kill"
 )
 
 // Classes returns every injectable fault class, in documentation order.
@@ -59,12 +73,23 @@ func Classes() []Class {
 	}
 }
 
+// ServiceClasses returns the serving-layer fault classes, injected by
+// the job service (hpserved -chaos) rather than the simulator.
+func ServiceClasses() []Class {
+	return []Class{ClassJobTransient, ClassWorkerKill}
+}
+
 // Valid reports whether c is ClassNone or a known injectable class.
 func (c Class) Valid() bool {
 	if c == ClassNone {
 		return true
 	}
 	for _, k := range Classes() {
+		if c == k {
+			return true
+		}
+	}
+	for _, k := range ServiceClasses() {
 		if c == k {
 			return true
 		}
@@ -88,6 +113,10 @@ func DefaultRate(c Class) float64 {
 		return 0.25 // per-fill jitter probability
 	case ClassMSHRStarve:
 		return 0.50 // duty fraction of time starved
+	case ClassJobTransient:
+		return 0.20 // per-attempt transient failure probability
+	case ClassWorkerKill:
+		return 0.05 // per-attempt worker panic probability
 	}
 	return 0
 }
@@ -134,7 +163,8 @@ func ParseSpec(s string) (Config, error) {
 	parts := strings.Split(s, ":")
 	cfg := Config{Class: Class(parts[0])}
 	if !cfg.Valid() || !cfg.Enabled() {
-		return Config{}, fmt.Errorf("fault: unknown class %q (valid: %v)", parts[0], Classes())
+		return Config{}, fmt.Errorf("fault: unknown class %q (valid: %v)",
+			parts[0], append(Classes(), ServiceClasses()...))
 	}
 	if len(parts) >= 2 && parts[1] != "" {
 		r, err := strconv.ParseFloat(parts[1], 64)
@@ -171,6 +201,8 @@ const (
 	saltDelay  = 0xDE1A
 	saltLat    = 0x1A77
 	saltStarve = 0x57A4
+	saltJob    = 0x10B5
+	saltKill   = 0x6B11
 )
 
 // Injector makes the injection decisions for one simulated run. It is
@@ -183,6 +215,8 @@ type Injector struct {
 	drop  *xrand.RNG
 	delay *xrand.RNG
 	lat   *xrand.RNG
+	job   *xrand.RNG
+	kill  *xrand.RNG
 
 	starveTick  uint64
 	starvePhase uint64
@@ -205,6 +239,8 @@ func New(cfg Config) (*Injector, error) {
 		drop:        xrand.New(xrand.Mix(cfg.Seed, saltDrop)),
 		delay:       xrand.New(xrand.Mix(cfg.Seed, saltDelay)),
 		lat:         xrand.New(xrand.Mix(cfg.Seed, saltLat)),
+		job:         xrand.New(xrand.Mix(cfg.Seed, saltJob)),
+		kill:        xrand.New(xrand.Mix(cfg.Seed, saltKill)),
 		starvePhase: xrand.Mix(cfg.Seed, saltStarve) % starvePeriod,
 	}, nil
 }
@@ -294,6 +330,24 @@ func (in *Injector) JitterLatency(lat uint64) uint64 {
 		return lat
 	}
 	return lat * uint64(in.lat.Range(2, 4))
+}
+
+// FailJob reports whether the current job attempt should fail with a
+// synthetic transient error (service-level chaos).
+func (in *Injector) FailJob() bool {
+	if in.cfg.Class != ClassJobTransient {
+		return false
+	}
+	return in.job.Bool(in.rate)
+}
+
+// KillWorker reports whether the current job attempt should panic its
+// worker goroutine (service-level chaos).
+func (in *Injector) KillWorker() bool {
+	if in.cfg.Class != ClassWorkerKill {
+		return false
+	}
+	return in.kill.Bool(in.rate)
 }
 
 // MSHRReserve returns how many of the capacity MSHR entries are

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"hprefetch/internal/binfmt"
@@ -189,6 +190,74 @@ func TestParseSpec(t *testing.T) {
 			t.Errorf("class %s has no default rate", c)
 		}
 	}
+}
+
+// TestServiceClasses covers the serving-layer chaos classes: parse,
+// defaults, deterministic decision streams, and strict no-op behaviour
+// at every simulator hook (they perturb the service, not the machine).
+func TestServiceClasses(t *testing.T) {
+	for _, c := range ServiceClasses() {
+		if !c.Valid() {
+			t.Errorf("service class %s not Valid()", c)
+		}
+		cfg, err := ParseSpec(string(c) + ":0.5:9")
+		if err != nil || cfg.Class != c || cfg.Rate != 0.5 || cfg.Seed != 9 {
+			t.Errorf("ParseSpec(%s:0.5:9) = %+v, %v", c, cfg, err)
+		}
+		if DefaultRate(c) <= 0 {
+			t.Errorf("service class %s has no default rate", c)
+		}
+	}
+
+	stream := func(seed uint64) (jobs, kills string) {
+		inJ, _ := New(Config{Class: ClassJobTransient, Rate: 0.3, Seed: seed})
+		inK, _ := New(Config{Class: ClassWorkerKill, Rate: 0.3, Seed: seed})
+		var j, k []byte
+		for i := 0; i < 256; i++ {
+			j = append(j, byte('0'+b2i(inJ.FailJob())))
+			k = append(k, byte('0'+b2i(inK.KillWorker())))
+		}
+		return string(j), string(k)
+	}
+	j1, k1 := stream(42)
+	j2, k2 := stream(42)
+	if j1 != j2 || k1 != k2 {
+		t.Fatal("service chaos decisions are not deterministic for a fixed seed")
+	}
+	j3, k3 := stream(43)
+	if j1 == j3 || k1 == k3 {
+		t.Error("seed change did not change the service chaos pattern")
+	}
+	if !strings.ContainsRune(j1, '1') || !strings.ContainsRune(j1, '0') {
+		t.Error("job-transient at rate 0.3 should mix failures and passes")
+	}
+
+	// Service classes are inert inside a simulation; simulator classes
+	// are inert at the service hooks.
+	in, _ := New(Config{Class: ClassJobTransient, Rate: 1, Seed: 1})
+	seg := sampleSegment()
+	if out := in.PerturbBundles(seg); !reflect.DeepEqual(out, seg) {
+		t.Error("job-transient perturbed the bundle segment")
+	}
+	if in.FlipTag() || in.DropPrefetch() || in.DelayPrefetch() != 0 ||
+		in.JitterLatency(50) != 50 || in.MSHRReserve(16) != 0 || in.KillWorker() {
+		t.Error("job-transient leaked into a foreign hook")
+	}
+	sim, _ := New(Config{Class: ClassPrefetchDrop, Rate: 1, Seed: 1})
+	if sim.FailJob() || sim.KillWorker() {
+		t.Error("simulator class leaked into the service hooks")
+	}
+	none, _ := New(Config{})
+	if none.FailJob() || none.KillWorker() {
+		t.Error("ClassNone injected a service fault")
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func TestConfigString(t *testing.T) {

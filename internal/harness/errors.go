@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"context"
+	"errors"
+)
+
+// Transient-vs-permanent error classification. A serving layer retrying
+// a failed run needs to know whether the failure was environmental (an
+// injected fault, a panic escaping the simulation stack, a deadline that
+// expired while the machine was saturated) or structural (a bad
+// workload, an unknown scheme, an invalid configuration). Environmental
+// failures are worth retrying — determinism guarantees a retried run
+// that succeeds produces the exact result the failed attempt would have
+// — while structural ones will fail identically forever.
+
+// transientErr marks an error as retryable without hiding its cause.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so IsTransient reports true for it (and for
+// anything that later wraps it). A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err is worth retrying: explicitly marked
+// transient, or a deadline expiry (the run may fit the budget once the
+// queue drains). Explicit cancellation is NOT transient — the caller
+// asked the run to stop.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var te *transientErr
+	if errors.As(err, &te) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Fatal("plain error classified transient")
+	}
+	marked := MarkTransient(base)
+	if !IsTransient(marked) {
+		t.Fatal("marked error not transient")
+	}
+	if !errors.Is(marked, base) {
+		t.Fatal("MarkTransient hides the cause")
+	}
+	// The mark survives further wrapping — the service sees errors after
+	// the harness adds run context.
+	wrapped := fmt.Errorf("gin/FDIP measure: %w", marked)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapping stripped the transient mark")
+	}
+	if IsTransient(nil) || MarkTransient(nil) != nil {
+		t.Fatal("nil handling wrong")
+	}
+	// Deadline expiry is transient; explicit cancellation is not.
+	if !IsTransient(fmt.Errorf("warmup: %w", context.DeadlineExceeded)) {
+		t.Fatal("deadline expiry not transient")
+	}
+	if IsTransient(fmt.Errorf("warmup: %w", context.Canceled)) {
+		t.Fatal("cancellation classified transient")
+	}
+}
+
+// TestRunOnePanicIsTransient forces a panic through the simulation stack
+// and checks the recovered error carries the transient mark.
+func TestRunOnePanicIsTransient(t *testing.T) {
+	rc := QuickRunConfig()
+	_, err := runOne(nil, "gin", Scheme("no-such-scheme-panic-proxy"), rc)
+	if err == nil {
+		t.Fatal("unknown scheme did not error")
+	}
+	// Unknown scheme is a structural error, not transient.
+	if IsTransient(err) {
+		t.Fatal("structural error classified transient")
+	}
+}

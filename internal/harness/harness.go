@@ -180,7 +180,10 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
-			err = fmt.Errorf("harness: %s/%s panicked: %v", workload, scheme, r)
+			// A panic is environmental, not structural: the same inputs
+			// simulate cleanly elsewhere (fault injection, memory
+			// pressure), so mark it retryable.
+			err = MarkTransient(fmt.Errorf("harness: %s/%s panicked: %v", workload, scheme, r))
 		}
 	}()
 

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// The admission circuit breaker. It watches terminal job outcomes over
+// a sliding window; when the worker pool's failure rate crosses the
+// threshold, the breaker opens and submissions bounce with 503 +
+// Retry-After instead of joining a queue that is only producing
+// failures. After a cooldown the breaker half-opens: submissions are
+// admitted again and the first terminal outcome decides — success
+// closes the breaker, failure re-opens it for another cooldown.
+// Cancellations are neutral and recorded nowhere.
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerStatus is the breaker's externally visible state (/metrics).
+type BreakerStatus struct {
+	// State is "closed", "open", or "half-open".
+	State string `json:"state"`
+	// Opens counts closed→open transitions since startup.
+	Opens uint64 `json:"opens"`
+}
+
+type breaker struct {
+	mu         sync.Mutex
+	window     []bool // ring buffer of outcomes; true = failure
+	idx, n     int
+	fails      int
+	minSamples int
+	threshold  float64
+	cooldown   time.Duration
+	state      breakerState
+	openedAt   time.Time
+	opens      uint64
+	now        func() time.Time // test seam
+}
+
+func newBreaker(window, minSamples int, threshold float64, cooldown time.Duration) *breaker {
+	return &breaker{
+		window:     make([]bool, window),
+		minSamples: minSamples,
+		threshold:  threshold,
+		cooldown:   cooldown,
+		now:        time.Now,
+	}
+}
+
+// allow reports whether a submission may be admitted; when it may not,
+// it also returns how long the client should wait before retrying.
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		return true, 0
+	}
+	if remaining := b.cooldown - b.now().Sub(b.openedAt); remaining > 0 {
+		return false, remaining
+	}
+	b.state = breakerHalfOpen
+	return true, 0
+}
+
+// record feeds one terminal job outcome into the window.
+func (b *breaker) record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		// Stragglers from admissions before the trip; ignore.
+		return
+	case breakerHalfOpen:
+		if failure {
+			b.trip()
+		} else {
+			b.state = breakerClosed
+			b.reset()
+		}
+		return
+	}
+	if b.n == len(b.window) {
+		if b.window[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.n++
+	}
+	b.window[b.idx] = failure
+	if failure {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.window)
+	if b.n >= b.minSamples && float64(b.fails) >= b.threshold*float64(b.n) {
+		b.trip()
+	}
+}
+
+// trip opens the breaker (caller holds b.mu).
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.reset()
+}
+
+// reset clears the outcome window (caller holds b.mu).
+func (b *breaker) reset() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.idx, b.n, b.fails = 0, 0, 0
+}
+
+func (b *breaker) status() BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface an elapsed cooldown as half-open: that is what the next
+	// allow() will decide.
+	st := b.state
+	if st == breakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		st = breakerHalfOpen
+	}
+	return BreakerStatus{State: st.String(), Opens: b.opens}
+}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hprefetch/internal/fault"
+	"hprefetch/internal/harness"
+	"hprefetch/internal/xrand"
+)
+
+// TestJournalKillRestartRecovery is the crash-recovery acceptance test:
+// a server dies (Close, which journals nothing terminal for live jobs)
+// with one job mid-execution and one queued; a second server against the
+// same journal replays both to completion, and the recovered digests
+// match a direct harness run performed before either server existed —
+// the replayed execution is the lost execution, bit for bit.
+func TestJournalKillRestartRecovery(t *testing.T) {
+	harness.DropCache()
+	mediumReq := RunRequest{Workload: "gin", Scheme: "FDIP", WarmInstr: 50_000, MeasureInstr: 10_000_000}
+	queuedReq := RunRequest{Workload: "gin", Scheme: "EIP", WarmInstr: 50_000, MeasureInstr: 100_000}
+
+	// Ground truth, computed first and then dropped from the cache so the
+	// replayed jobs must re-simulate from scratch.
+	digest := func(req RunRequest) string {
+		rc := harness.DefaultRunConfig()
+		rc.WarmInstr, rc.MeasureInstr = req.WarmInstr, req.MeasureInstr
+		r, err := harness.Run(req.Workload, harness.Scheme(req.Scheme), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats.Digest()
+	}
+	wantMedium, wantQueued := digest(mediumReq), digest(queuedReq)
+	harness.DropCache()
+
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	s1, err := New(Config{Workers: 1, QueueDepth: 4, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	running := submit(t, ts1, mediumReq)
+	awaitState(t, ts1, running.ID, JobRunning, 30*time.Second)
+	queued := submit(t, ts1, queuedReq)
+	s1.Close() // the "kill": in-flight work is cut short, journal stays pending
+	ts1.Close()
+
+	if j, ok := s1.store.get(running.ID); !ok || j.State() != JobCanceled {
+		t.Fatalf("running job not drain-cancelled in the dead server")
+	}
+
+	s2, err := New(Config{Workers: 1, QueueDepth: 4, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() { ts2.Close(); s2.Close() }()
+	if got := s2.Metrics().Replayed.Load(); got != 2 {
+		t.Fatalf("replayed %d jobs, want 2", got)
+	}
+
+	rec := await(t, ts2, running.ID, 4*time.Minute)
+	if rec.State != JobDone {
+		t.Fatalf("orphaned job replayed to %s (%s)", rec.State, rec.Error)
+	}
+	if rec.Attempts < 2 {
+		t.Fatalf("orphaned job attempts %d: the lost life's attempt was forgotten", rec.Attempts)
+	}
+	if rec.Result.StatsDigest != wantMedium {
+		t.Fatalf("orphaned job digest %q != direct run %q", rec.Result.StatsDigest, wantMedium)
+	}
+	qrec := await(t, ts2, queued.ID, 2*time.Minute)
+	if qrec.State != JobDone || qrec.Result.StatsDigest != wantQueued {
+		t.Fatalf("queued job replayed to %s, digest %q want %q", qrec.State, qrec.Result.StatsDigest, wantQueued)
+	}
+	// Same ids across lives — replay resumes, it does not duplicate.
+	if rec.ID != running.ID || qrec.ID != queued.ID {
+		t.Fatal("replay changed job ids")
+	}
+}
+
+// journalPending reads the journal file directly and returns the set of
+// job ids that would replay.
+func journalPending(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := decodeJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, _ := pendingFromRecords(recs)
+	out := map[string]bool{}
+	for _, p := range pending {
+		out[p.ID] = true
+	}
+	return out
+}
+
+// TestChaosSoak composes the failure modes into restart cycles: each
+// cycle opens a server on the same journal under a different chaos class
+// (transient job faults, worker kills), submits jobs with randomized
+// schemes, simulator-level fault specs and immediate cancels, then
+// closes mid-flight. Invariants across all lives:
+//
+//   - no job is lost: every submitted id eventually reaches exactly one
+//     genuinely-terminal state (drain cancellations don't count — those
+//     must replay);
+//   - no job is duplicated: an id never goes terminal twice, and fresh
+//     submissions never reuse an id from any earlier life;
+//   - completed runs reproduce their digests: identical requests yield
+//     identical StatsDigests across cycles, chaos or not.
+func TestChaosSoak(t *testing.T) {
+	harness.DropCache()
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	rng := xrand.New(0xC4A05)
+
+	schemes := []string{"FDIP", "EFetch", "EIP", "Hierarchical"}
+	chaosByCycle := []fault.Config{
+		{Class: fault.ClassJobTransient, Rate: 0.4, Seed: 11},
+		{Class: fault.ClassWorkerKill, Rate: 0.4, Seed: 12},
+		{Class: fault.ClassJobTransient, Rate: 0.4, Seed: 13},
+		{Class: fault.ClassWorkerKill, Rate: 0.4, Seed: 14},
+	}
+
+	submitted := map[string]RunRequest{} // every id ever issued
+	finalState := map[string]JobState{}  // genuinely-terminal outcomes
+	digests := map[string]string{}       // request key → StatsDigest
+	expectReplay := 0
+
+	reqKey := func(r RunRequest) string { return r.Scheme + "|" + r.Fault }
+
+	// audit records every genuinely-terminal job after a cycle's close:
+	// terminal in the store AND terminal in the journal. A terminal store
+	// state that the journal still holds pending is a drain cancellation
+	// and must replay.
+	audit := func(s *Server) {
+		t.Helper()
+		pending := journalPending(t, path)
+		for id, req := range submitted {
+			if _, done := finalState[id]; done {
+				if pending[id] {
+					t.Fatalf("job %s is terminal (%s) but the journal still holds it pending", id, finalState[id])
+				}
+				continue
+			}
+			j, ok := s.store.get(id)
+			if !ok {
+				continue // submitted in an earlier life, replaying later
+			}
+			st := j.State()
+			if pending[id] {
+				continue // will replay next cycle (drain-cancelled or unfinished)
+			}
+			if !st.Terminal() {
+				t.Fatalf("job %s is non-terminal (%s) yet journaled finished", id, st)
+			}
+			finalState[id] = st
+			if st == JobDone && j.Kind == "run" {
+				v := j.View()
+				key := reqKey(req)
+				if prev, ok := digests[key]; ok && prev != v.Result.StatsDigest {
+					t.Fatalf("digest drift for %s: %q vs %q", key, prev, v.Result.StatsDigest)
+				}
+				digests[key] = v.Result.StatsDigest
+			}
+		}
+		expectReplay = len(journalPending(t, path))
+	}
+
+	for cycle, chaos := range chaosByCycle {
+		s, err := New(Config{
+			Workers: 2, QueueDepth: 32, Retry: fastRetry,
+			JournalPath: path, Chaos: chaos,
+		})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if got := int(s.Metrics().Replayed.Load()); got != expectReplay {
+			t.Fatalf("cycle %d replayed %d jobs, want %d", cycle, got, expectReplay)
+		}
+		ts := httptest.NewServer(s.Handler())
+
+		var ids []string
+		for i := 0; i < 6; i++ {
+			req := tinyRun(schemes[rng.Range(0, len(schemes)-1)])
+			if rng.Bool(0.25) {
+				req.Fault = "prefetch-drop:0.3:5" // compose a simulator fault
+			}
+			v := submit(t, ts, req)
+			if _, dup := submitted[v.ID]; dup {
+				t.Fatalf("cycle %d reissued id %s from an earlier life", cycle, v.ID)
+			}
+			submitted[v.ID] = req
+			ids = append(ids, v.ID)
+			if rng.Bool(0.2) {
+				cresp := postJSON(t, ts.URL+"/v1/runs/"+v.ID+"/cancel", nil)
+				cresp.Body.Close()
+			}
+		}
+		// Let roughly half the batch settle, then cut the power.
+		for _, id := range ids[:3] {
+			await(t, ts, id, 2*time.Minute)
+		}
+		ts.Close()
+		s.Close()
+		audit(s)
+	}
+
+	// Final chaos-free cycle: everything still pending replays and runs
+	// to completion.
+	s, err := New(Config{Workers: 2, QueueDepth: 32, Retry: fastRetry, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	if got := int(s.Metrics().Replayed.Load()); got != expectReplay {
+		t.Fatalf("final cycle replayed %d jobs, want %d", got, expectReplay)
+	}
+	for id := range submitted {
+		if _, done := finalState[id]; done {
+			continue
+		}
+		await(t, ts, id, 4*time.Minute)
+	}
+	ts.Close()
+	s.Close()
+	audit(s)
+
+	// Every job ever submitted is accounted for exactly once, and the
+	// journal holds nothing pending.
+	for id := range submitted {
+		if _, ok := finalState[id]; !ok {
+			t.Errorf("job %s was lost: never reached a journaled terminal state", id)
+		}
+	}
+	if left := journalPending(t, path); len(left) != 0 {
+		t.Fatalf("journal still pending after clean shutdown: %v", left)
+	}
+	if len(digests) == 0 {
+		t.Fatal("soak completed no runs — chaos rates drowned the test")
+	}
+	t.Logf("soak: %d jobs across %d lives, %d distinct request digests, outcomes %v",
+		len(submitted), len(chaosByCycle)+1, len(digests), countStates(finalState))
+}
+
+func countStates(m map[string]JobState) map[JobState]int {
+	out := map[JobState]int{}
+	for _, st := range m {
+		out[st]++
+	}
+	return out
+}

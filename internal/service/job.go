@@ -49,6 +49,10 @@ type RunRequest struct {
 	// TimeoutMS bounds the job's wall-clock execution; 0 uses the
 	// server default, and values above the server maximum are clamped.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxRetries overrides the server's transient-failure retry budget
+	// for this job: 0 keeps the server default, negative disables
+	// retries, positive values are clamped to the server maximum.
+	MaxRetries int `json:"max_retries,omitempty"`
 }
 
 // RunResult summarises a completed simulation for the API.
@@ -108,6 +112,15 @@ type Job struct {
 	cancelRequested bool
 	// cancel aborts the running simulation's context.
 	cancel context.CancelFunc
+	// attempts counts execution attempts begun (journal-replayed jobs
+	// start with the attempts their previous life recorded); maxRetries
+	// is the job's transient-failure retry budget beyond the first
+	// attempt of each life.
+	attempts   int
+	maxRetries int
+	// lastBackoff remembers the previous retry delay for decorrelated
+	// jitter.
+	lastBackoff time.Duration
 
 	done chan struct{}
 }
@@ -127,6 +140,10 @@ type JobView struct {
 	// WaitMS and RunMS are queue latency and execution latency.
 	WaitMS int64 `json:"wait_ms,omitempty"`
 	RunMS  int64 `json:"run_ms,omitempty"`
+	// Attempts counts execution attempts begun; MaxRetries is the job's
+	// transient-failure retry budget.
+	Attempts   int `json:"attempts,omitempty"`
+	MaxRetries int `json:"max_retries,omitempty"`
 }
 
 // View snapshots the job for serialisation.
@@ -140,8 +157,10 @@ func (j *Job) View() JobView {
 		Request:   j.Req,
 		Error:     j.err,
 		Result:    j.run,
-		Table:     j.table,
-		Submitted: j.submitted,
+		Table:      j.table,
+		Submitted:  j.submitted,
+		Attempts:   j.attempts,
+		MaxRetries: j.maxRetries,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -168,17 +187,53 @@ func (j *Job) State() JobState {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// begin transitions queued → running, returning false when the job was
-// cancelled while waiting (the worker must skip it).
-func (j *Job) begin(cancel context.CancelFunc) bool {
+// begin transitions queued → running, returning the 1-based attempt
+// number, or false when the job was cancelled while waiting (the worker
+// must skip it).
+func (j *Job) begin(cancel context.CancelFunc) (int, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.cancelRequested || j.state.Terminal() {
-		return false
+		return 0, false
 	}
 	j.state = JobRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.attempts++
+	return j.attempts, true
+}
+
+// retryBudget snapshots the attempt counters for the retry decision.
+func (j *Job) retryBudget() (attempts, maxRetries int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts, j.maxRetries
+}
+
+// prevBackoff returns the previous retry delay (decorrelated jitter
+// input).
+func (j *Job) prevBackoff() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastBackoff
+}
+
+// retryReset moves a running job back to the queue for another attempt
+// after a transient failure, remembering the failure message and the
+// chosen backoff. It refuses (false) when the job is no longer running
+// or a cancel arrived — the caller must finish it instead.
+func (j *Job) retryReset(cause string, backoff time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobRunning || j.cancelRequested {
+		return false
+	}
+	j.state = JobQueued
+	j.cancel = nil
+	// Surface the transient error while the job waits for its retry; a
+	// later terminal transition overwrites it.
+	j.err = cause
+	j.lastBackoff = backoff
 	return true
 }
 

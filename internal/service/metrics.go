@@ -71,6 +71,12 @@ type Metrics struct {
 	Failed    atomic.Uint64 // jobs finished with an error
 	Canceled  atomic.Uint64 // jobs cancelled before or during execution
 
+	Retried         atomic.Uint64 // transient failures sent back to the queue
+	Replayed        atomic.Uint64 // jobs re-admitted from the journal at startup
+	WorkerPanics    atomic.Uint64 // panics recovered in the worker pool
+	JournalErrors   atomic.Uint64 // best-effort journal appends that failed
+	BreakerRejected atomic.Uint64 // submissions bounced with 503 (breaker open)
+
 	mu sync.Mutex
 	// latency histograms keyed by label: the scheme for run jobs,
 	// "experiment:<id>" for experiment jobs.
@@ -94,6 +100,26 @@ func (m *Metrics) ObserveLatency(label string, ms float64) {
 	h.observe(ms)
 }
 
+// QuantileAllMS estimates the q-quantile of job execution latency across
+// every label by merging the per-label histograms bucket-wise. The
+// admission layer uses the p90 to derive an honest Retry-After.
+func (m *Metrics) QuantileAllMS(q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	merged := newHistogram()
+	for _, h := range m.hist {
+		for i, c := range h.counts {
+			merged.counts[i] += c
+		}
+		merged.sum += h.sum
+		merged.total += h.total
+	}
+	if merged.total == 0 {
+		return 0
+	}
+	return merged.quantile(q)
+}
+
 // LatencySummary is one label's latency digest.
 type LatencySummary struct {
 	Count  uint64  `json:"count"`
@@ -105,14 +131,23 @@ type LatencySummary struct {
 // Snapshot is the JSON form of /metrics.
 type Snapshot struct {
 	Jobs struct {
-		Accepted  uint64 `json:"accepted"`
-		Rejected  uint64 `json:"rejected"`
-		Completed uint64 `json:"completed"`
-		Failed    uint64 `json:"failed"`
-		Canceled  uint64 `json:"canceled"`
+		Accepted        uint64 `json:"accepted"`
+		Rejected        uint64 `json:"rejected"`
+		Completed       uint64 `json:"completed"`
+		Failed          uint64 `json:"failed"`
+		Canceled        uint64 `json:"canceled"`
+		Retried         uint64 `json:"retried"`
+		Replayed        uint64 `json:"replayed"`
+		WorkerPanics    uint64 `json:"worker_panics"`
+		BreakerRejected uint64 `json:"breaker_rejected"`
 	} `json:"jobs"`
-	QueueDepth int `json:"queue_depth"`
-	Workers    int `json:"workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	Workers       int           `json:"workers"`
+	Breaker       BreakerStatus `json:"breaker"`
+	JournalErrors uint64        `json:"journal_errors"`
+	// LatencyP90MS is the cross-label p90 execution latency that drives
+	// Retry-After on load shedding.
+	LatencyP90MS float64 `json:"latency_p90_ms"`
 	Cache      struct {
 		Hits        uint64 `json:"hits"`
 		SharedWaits uint64 `json:"shared_waits"`
@@ -124,16 +159,24 @@ type Snapshot struct {
 	Latency map[string]LatencySummary `json:"latency"`
 }
 
-// Snapshot captures every counter plus the shared Runner's cache stats.
-func (m *Metrics) Snapshot(queueDepth, workers int, cache harness.RunnerStats) Snapshot {
+// Snapshot captures every counter plus the shared Runner's cache stats
+// and the admission breaker's state.
+func (m *Metrics) Snapshot(queueDepth, workers int, cache harness.RunnerStats, breaker BreakerStatus) Snapshot {
 	var s Snapshot
 	s.Jobs.Accepted = m.Accepted.Load()
 	s.Jobs.Rejected = m.Rejected.Load()
 	s.Jobs.Completed = m.Completed.Load()
 	s.Jobs.Failed = m.Failed.Load()
 	s.Jobs.Canceled = m.Canceled.Load()
+	s.Jobs.Retried = m.Retried.Load()
+	s.Jobs.Replayed = m.Replayed.Load()
+	s.Jobs.WorkerPanics = m.WorkerPanics.Load()
+	s.Jobs.BreakerRejected = m.BreakerRejected.Load()
+	s.JournalErrors = m.JournalErrors.Load()
 	s.QueueDepth = queueDepth
 	s.Workers = workers
+	s.Breaker = breaker
+	s.LatencyP90MS = m.QuantileAllMS(0.90)
 	s.Cache.Hits = cache.Hits
 	s.Cache.SharedWaits = cache.SharedWaits
 	s.Cache.Misses = cache.Misses
@@ -173,6 +216,17 @@ func (s Snapshot) Prometheus() string {
 	counter("hpserved_jobs_completed_total", "Jobs finished successfully.", s.Jobs.Completed)
 	counter("hpserved_jobs_failed_total", "Jobs finished with an error.", s.Jobs.Failed)
 	counter("hpserved_jobs_canceled_total", "Jobs cancelled before or during execution.", s.Jobs.Canceled)
+	counter("hpserved_jobs_retried_total", "Transient failures sent back to the queue with backoff.", s.Jobs.Retried)
+	counter("hpserved_jobs_replayed_total", "Jobs re-admitted from the journal at startup.", s.Jobs.Replayed)
+	counter("hpserved_worker_panics_total", "Panics recovered in the worker pool.", s.Jobs.WorkerPanics)
+	counter("hpserved_jobs_breaker_rejected_total", "Submissions rejected with 503 (circuit breaker open).", s.Jobs.BreakerRejected)
+	counter("hpserved_journal_errors_total", "Best-effort journal appends that failed.", s.JournalErrors)
+	counter("hpserved_breaker_opens_total", "Circuit breaker closed-to-open transitions.", s.Breaker.Opens)
+	open := 0
+	if s.Breaker.State == "open" {
+		open = 1
+	}
+	gauge("hpserved_breaker_open", "Whether the admission circuit breaker is open.", open)
 	gauge("hpserved_queue_depth", "Jobs currently waiting in the queue.", s.QueueDepth)
 	gauge("hpserved_workers", "Size of the worker pool.", s.Workers)
 	counter("hpserved_cache_hits_total", "Simulations served from the result cache.", s.Cache.Hits)
@@ -181,6 +235,8 @@ func (s Snapshot) Prometheus() string {
 	counter("hpserved_cache_evictions_total", "Results displaced by the LRU bound.", s.Cache.Evictions)
 	gauge("hpserved_cache_entries", "Results currently cached.", s.Cache.Entries)
 	gauge("hpserved_cache_in_flight", "Simulations currently executing.", s.Cache.InFlight)
+	fmt.Fprintf(&b, "# HELP hpserved_job_latency_p90_ms Cross-label p90 job latency (drives Retry-After).\n"+
+		"# TYPE hpserved_job_latency_p90_ms gauge\nhpserved_job_latency_p90_ms %g\n", s.LatencyP90MS)
 
 	labels := make([]string, 0, len(s.Latency))
 	for l := range s.Latency {

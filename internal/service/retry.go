@@ -1,0 +1,60 @@
+package service
+
+import (
+	"time"
+
+	"hprefetch/internal/xrand"
+)
+
+// RetryPolicy shapes the server's response to transient job failures
+// (injected faults, worker panics, deadlines that expired under load):
+// exponential backoff with decorrelated jitter, bounded by a per-job
+// retry budget. Permanent failures — bad workload, unknown scheme —
+// never retry. Jitter draws from a seeded xrand stream so tests can
+// reproduce the exact retry schedule.
+type RetryPolicy struct {
+	// MaxRetries is the default extra attempts per job beyond the first
+	// (0 picks the documented default of 2; negative disables retries).
+	// Requests override it per job via "max_retries".
+	MaxRetries int
+	// BaseDelay is the first backoff (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps every backoff (default 5s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	switch {
+	case p.MaxRetries == 0:
+		p.MaxRetries = 2
+	case p.MaxRetries < 0:
+		p.MaxRetries = 0
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// nextDelay computes the backoff before the next attempt given the
+// previous one (zero for the first retry): decorrelated jitter — a
+// uniform draw from [base, 3·prev], capped — which spreads retry storms
+// without the synchronisation full exponential ladders suffer.
+func (p RetryPolicy) nextDelay(rng *xrand.RNG, prev time.Duration) time.Duration {
+	lo := int64(p.BaseDelay)
+	hi := 3 * int64(prev)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	d := time.Duration(lo + int64(rng.Uint64()%uint64(hi-lo)))
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}

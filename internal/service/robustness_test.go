@@ -1,0 +1,293 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"hprefetch/internal/fault"
+	"hprefetch/internal/xrand"
+)
+
+// fastRetry keeps test retry schedules in the milliseconds.
+var fastRetry = RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+// TestRetryTransientExhaustsBudget drives every attempt into an injected
+// transient failure: the job must retry exactly maxRetries times and
+// then fail terminally with the attempt count visible in its view.
+func TestRetryTransientExhaustsBudget(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4, Retry: fastRetry,
+		Chaos: fault.Config{Class: fault.ClassJobTransient, Rate: 1, Seed: 1},
+	})
+	v := submit(t, ts, tinyRun("FDIP"))
+	done := await(t, ts, v.ID, 30*time.Second)
+	if done.State != JobFailed {
+		t.Fatalf("job finished %s (%s)", done.State, done.Error)
+	}
+	if done.Attempts != 3 || done.MaxRetries != 2 {
+		t.Fatalf("attempts=%d max_retries=%d, want 3/2", done.Attempts, done.MaxRetries)
+	}
+	if got := s.Metrics().Retried.Load(); got != 2 {
+		t.Fatalf("retried counter %d, want 2", got)
+	}
+	if got := s.Metrics().Failed.Load(); got != 1 {
+		t.Fatalf("failed counter %d, want 1 (exactly-once terminal accounting)", got)
+	}
+}
+
+// TestRetryBudgetPerRequest checks the max_retries request knob:
+// negative disables retries entirely.
+func TestRetryBudgetPerRequest(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4, Retry: fastRetry,
+		Chaos: fault.Config{Class: fault.ClassJobTransient, Rate: 1, Seed: 1},
+	})
+	req := tinyRun("FDIP")
+	req.MaxRetries = -1
+	done := await(t, ts, submit(t, ts, req).ID, 30*time.Second)
+	if done.State != JobFailed || done.Attempts != 1 {
+		t.Fatalf("no-retry job: state=%s attempts=%d, want failed/1", done.State, done.Attempts)
+	}
+	if got := s.Metrics().Retried.Load(); got != 0 {
+		t.Fatalf("retried counter %d, want 0", got)
+	}
+}
+
+// TestWorkerKillRecovery panics every worker attempt via chaos: the pool
+// must survive (panic recovered, counted, retried) and still execute a
+// clean job afterwards.
+func TestWorkerKillRecovery(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 8, Retry: fastRetry,
+		Chaos: fault.Config{Class: fault.ClassWorkerKill, Rate: 1, Seed: 1},
+	})
+	done := await(t, ts, submit(t, ts, tinyRun("FDIP")).ID, 30*time.Second)
+	if done.State != JobFailed || done.Attempts != 3 {
+		t.Fatalf("killed job: state=%s attempts=%d (%s)", done.State, done.Attempts, done.Error)
+	}
+	if got := s.Metrics().WorkerPanics.Load(); got != 3 {
+		t.Fatalf("worker panics %d, want 3", got)
+	}
+	// Disarm chaos (test seam: drop the injector) and prove the same
+	// workers still run jobs — no goroutine died with the panics.
+	s.chaosMu.Lock()
+	s.chaos = nil
+	s.chaosMu.Unlock()
+	if done := await(t, ts, submit(t, ts, tinyRun("FDIP")).ID, 2*time.Minute); done.State != JobDone {
+		t.Fatalf("post-panic job finished %s (%s)", done.State, done.Error)
+	}
+}
+
+// TestBreakerUnit drives the breaker state machine directly with a fake
+// clock.
+func TestBreakerUnit(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(8, 4, 0.5, 10*time.Second)
+	b.now = func() time.Time { return now }
+
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("fresh breaker not closed")
+	}
+	// 3 failures of 4 samples ≥ 50% → open.
+	b.record(true)
+	b.record(false)
+	b.record(true)
+	if b.status().State != "closed" {
+		t.Fatalf("breaker opened below minSamples: %+v", b.status())
+	}
+	b.record(true)
+	if st := b.status(); st.State != "open" || st.Opens != 1 {
+		t.Fatalf("breaker state %+v, want open/1", st)
+	}
+	if ok, wait := b.allow(); ok || wait != 10*time.Second {
+		t.Fatalf("open breaker admitted (wait %v)", wait)
+	}
+	// Stragglers during open are ignored.
+	b.record(true)
+	// Cooldown elapses → half-open probe; failure re-opens.
+	now = now.Add(11 * time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker not half-open after cooldown")
+	}
+	b.record(true)
+	if st := b.status(); st.State != "open" || st.Opens != 2 {
+		t.Fatalf("half-open failure: %+v, want open/2", st)
+	}
+	// Second probe succeeds → closed, window reset.
+	now = now.Add(11 * time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker not half-open after second cooldown")
+	}
+	b.record(false)
+	if st := b.status(); st.State != "closed" {
+		t.Fatalf("half-open success: %+v, want closed", st)
+	}
+	// The window restarted: three fresh failures are below minSamples.
+	b.record(true)
+	b.record(true)
+	b.record(true)
+	if b.status().State != "closed" {
+		t.Fatal("window not reset after close")
+	}
+}
+
+// TestBreakerSheds503 opens the breaker through real failing jobs and
+// asserts submissions shed with 503 + Retry-After.
+func TestBreakerSheds503(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8, Retry: RetryPolicy{MaxRetries: -1},
+		BreakerWindow: 8, BreakerMinSamples: 2, BreakerThreshold: 0.9,
+		BreakerCooldown: time.Hour, // no probe during the test
+		Chaos:           fault.Config{Class: fault.ClassJobTransient, Rate: 1, Seed: 1},
+	})
+	for i := 0; i < 2; i++ {
+		if done := await(t, ts, submit(t, ts, tinyRun("FDIP")).ID, 30*time.Second); done.State != JobFailed {
+			t.Fatalf("chaos job %d finished %s", i, done.State)
+		}
+	}
+	resp := postJSON(t, ts.URL+"/v1/runs", tinyRun("FDIP"))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker returned %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("503 Retry-After %q", resp.Header.Get("Retry-After"))
+	}
+	if got := s.Metrics().BreakerRejected.Load(); got != 1 {
+		t.Fatalf("breaker-rejected counter %d", got)
+	}
+	if s.breaker.status().Opens != 1 {
+		t.Fatalf("breaker opens %d, want 1", s.breaker.status().Opens)
+	}
+}
+
+// TestRetryAfterHeader seeds latency history, fills the queue, and
+// checks the 429's Retry-After is derived from the observed p90 rather
+// than the old constant "1".
+func TestRetryAfterHeader(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	// Observed history: p90 lands in the ≤2500ms bucket.
+	for i := 0; i < 20; i++ {
+		s.metrics.ObserveLatency("FDIP", 2_000)
+	}
+	running := submit(t, ts, hugeRun(600_000))
+	awaitState(t, ts, running.ID, JobRunning, 30*time.Second)
+	submit(t, ts, hugeRun(600_000)) // fills the 1-deep queue
+
+	resp := postJSON(t, ts.URL+"/v1/runs", hugeRun(600_000))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue returned %d", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer", resp.Header.Get("Retry-After"))
+	}
+	// p90 = 2500ms bucket bound, queue 1 + worker 1 → 2 waves → 5s.
+	if ra != 5 {
+		t.Fatalf("Retry-After %d, want 5 (p90 2500ms × 2 waves)", ra)
+	}
+	if ra > int(s.cfg.MaxRetryAfter/time.Second) {
+		t.Fatalf("Retry-After %d exceeds cap", ra)
+	}
+}
+
+// TestRetryDelayDistribution pins the decorrelated-jitter maths: delays
+// stay within [base, cap] and are reproducible for a fixed seed.
+func TestRetryDelayDistribution(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}.withDefaults()
+	seq := func(seed uint64) []time.Duration {
+		rng := xrand.New(seed)
+		var prev time.Duration
+		var out []time.Duration
+		for i := 0; i < 64; i++ {
+			prev = p.nextDelay(rng, prev)
+			out = append(out, prev)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("retry schedule is not reproducible for a fixed seed")
+		}
+		if a[i] < p.BaseDelay || a[i] > p.MaxDelay {
+			t.Fatalf("delay %v outside [%v, %v]", a[i], p.BaseDelay, p.MaxDelay)
+		}
+	}
+	grew := false
+	for i := 1; i < len(a); i++ {
+		if a[i] > a[i-1] {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		t.Fatal("backoff never grew beyond the base delay")
+	}
+}
+
+// TestQueuedCancelRace hammers the submit→immediate-cancel window: the
+// cancel can land while the worker dequeues the job, and whoever wins,
+// the job must reach exactly one terminal state and the terminal metric
+// counters must add up to the accepted total.
+func TestQueuedCancelRace(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	// Warm the cache so raced runs return in microseconds.
+	if done := await(t, ts, submit(t, ts, tinyRun("FDIP")).ID, 2*time.Minute); done.State != JobDone {
+		t.Fatalf("warmup finished %s", done.State)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		v := submit(t, ts, tinyRun("FDIP"))
+		cresp := postJSON(t, ts.URL+"/v1/runs/"+v.ID+"/cancel", nil)
+		if cresp.StatusCode != http.StatusAccepted && cresp.StatusCode != http.StatusConflict {
+			t.Fatalf("cancel %s returned %d", v.ID, cresp.StatusCode)
+		}
+		cresp.Body.Close()
+		done := await(t, ts, v.ID, 30*time.Second)
+		if !done.State.Terminal() {
+			t.Fatalf("raced job %s left %s", v.ID, done.State)
+		}
+	}
+	// Give in-flight settle paths a moment, then audit the books.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := s.Metrics()
+		total := m.Completed.Load() + m.Failed.Load() + m.Canceled.Load()
+		if total == m.Accepted.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("terminal counters %d != accepted %d (done=%d failed=%d canceled=%d): a job was double-counted or lost",
+				total, m.Accepted.Load(), m.Completed.Load(), m.Failed.Load(), m.Canceled.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRetryAfterSecondsFormula pins the header derivation across queue
+// depths without HTTP.
+func TestRetryAfterSecondsFormula(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("no history: Retry-After %d, want floor 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		s.metrics.ObserveLatency("x", 40_000) // ≤60000 bucket
+	}
+	// Empty queue: 1 wave of p90=60s, capped at MaxRetryAfter (60s).
+	if got, want := s.retryAfterSeconds(), 60; got != want {
+		t.Fatalf("Retry-After %d, want %d (cap)", got, want)
+	}
+	if got := fmt.Sprintf("%d", ceilSeconds(1500*time.Millisecond)); got != "2" {
+		t.Fatalf("ceilSeconds(1.5s) = %s", got)
+	}
+	if got := ceilSeconds(0); got != 1 {
+		t.Fatalf("ceilSeconds(0) = %d", got)
+	}
+}

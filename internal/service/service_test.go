@@ -19,7 +19,10 @@ import (
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	harness.DropCache()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -240,9 +243,10 @@ func TestBackpressure429(t *testing.T) {
 }
 
 // TestDeadlineExceeded submits an impossible run with a tiny deadline:
-// it must fail cleanly (no hang, no leaked worker).
+// it must fail cleanly (no hang, no leaked worker). Deadline expiry is
+// classified transient, so the default retry budget is consumed first.
 func TestDeadlineExceeded(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
 	v := submit(t, ts, hugeRun(100))
 	done := await(t, ts, v.ID, 60*time.Second)
 	if done.State != JobFailed {
@@ -250,6 +254,12 @@ func TestDeadlineExceeded(t *testing.T) {
 	}
 	if !strings.Contains(done.Error, "deadline") {
 		t.Fatalf("deadline job error %q", done.Error)
+	}
+	if done.Attempts != 3 || done.MaxRetries != 2 {
+		t.Fatalf("deadline job attempts=%d max_retries=%d, want 3/2", done.Attempts, done.MaxRetries)
+	}
+	if got := s.Metrics().Retried.Load(); got != 2 {
+		t.Fatalf("retried counter %d, want 2", got)
 	}
 	// The worker is free again.
 	v = submit(t, ts, tinyRun("FDIP"))
@@ -411,7 +421,10 @@ func TestConcurrentMixedLoad(t *testing.T) {
 // terminal.
 func TestServerClose(t *testing.T) {
 	harness.DropCache()
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
