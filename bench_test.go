@@ -15,6 +15,7 @@ package hprefetch
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -194,6 +195,43 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(r.Stats.Instructions), "instr/op")
 	}
+}
+
+// BenchmarkReplayVsLive quantifies what trace replay buys: the same
+// (workload, scheme, window) simulated from the live engine and from a
+// recorded trace. Replayed runs skip program interpretation, and the
+// harness decodes each trace once per process (the in-memory trace
+// cache), so steady-state replay streams events from decoded arrays —
+// the sub-benchmark ratio is the speedup README quotes.
+func BenchmarkReplayVsLive(b *testing.B) {
+	rc := harness.DefaultRunConfig()
+	rc.Workloads = []string{"gin"}
+	rc.WarmInstr = 500_000
+	rc.MeasureInstr = 1_500_000
+	path := filepath.Join(b.TempDir(), "gin.hpt")
+	if _, err := harness.RecordTrace("gin", path, rc); err != nil {
+		b.Fatal(err)
+	}
+	instr := float64(rc.WarmInstr + rc.MeasureInstr)
+
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunUncached("gin", harness.SchemeFDIP, rc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(instr*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	})
+	b.Run("replay", func(b *testing.B) {
+		rcR := rc
+		rcR.TracePath = path
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunUncached("gin", harness.SchemeFDIP, rcR); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(instr*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	})
 }
 
 // TestMain prints a banner so bench output records the machine model.

@@ -11,12 +11,17 @@
 //	hpsim -experiment degradation -quick   # fault-injection degradation table
 //	hpsim -workload gin -fault tag-flip:0.001
 //	hpsim -experiment table2 -quick -digest  # reproducibility fingerprints
+//	hpsim -workload gin -record gin.hpt      # capture a replayable trace
+//	hpsim -workload gin -replay gin.hpt      # simulate from the trace
+//	hpsim -experiment fig9 -tracedir traces/ # replay-backed experiment
 //
 // With -digest, hpsim prints one stable fingerprint line per result
 // instead of the full output. Simulations are deterministic, so the
 // digest output is byte-identical across independent process
 // invocations with the same flags; CI diffs two runs to catch
-// nondeterminism or unintended behaviour drift.
+// nondeterminism or unintended behaviour drift. Replayed runs (-replay,
+// -tracedir) carry the same guarantee: a trace recorded by -record
+// yields the same digests as the live workload it captured.
 package main
 
 import (
@@ -41,6 +46,9 @@ func main() {
 		faultSpec  = flag.String("fault", "", "inject a fault: class[:rate[:seed]] with class in "+strings.Join(hprefetch.FaultClasses(), ", "))
 		parallel   = flag.Int("parallel", 1, "concurrent simulations for experiment sweeps (tables stay byte-identical to a serial run)")
 		digest     = flag.Bool("digest", false, "print stable result fingerprints instead of full output (reproducibility checks)")
+		record     = flag.String("record", "", "capture -workload's event stream to this trace file instead of simulating")
+		replay     = flag.String("replay", "", "replay the event stream from this recorded trace instead of running live")
+		tracedir   = flag.String("tracedir", "", "replay workloads with a trace at <dir>/<workload>.hpt, run the rest live")
 	)
 	flag.Parse()
 
@@ -50,12 +58,24 @@ func main() {
 		Quick:               *quick,
 		Fault:               *faultSpec,
 		Parallel:            *parallel,
+		ReplayTrace:         *replay,
+		TraceDir:            *tracedir,
 	}
 	if *only != "" {
 		opt.Workloads = strings.Split(*only, ",")
 	}
 
 	switch {
+	case *record != "":
+		if *workload == "" {
+			fatal(fmt.Errorf("-record requires -workload"))
+		}
+		sum, err := hprefetch.RecordTrace(*workload, *record, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %s: %d events (%d instructions, %d requests) in %d frames, %d bytes\n",
+			*record, sum.Events, sum.Instructions, sum.Requests, sum.Frames, sum.FileBytes)
 	case *workload != "":
 		st, err := hprefetch.Simulate(*workload, hprefetch.Scheme(*scheme), opt)
 		if err != nil {

@@ -23,6 +23,7 @@ import (
 	"hprefetch/internal/fault"
 	"hprefetch/internal/harness"
 	"hprefetch/internal/sim"
+	"hprefetch/internal/tracefile"
 	"hprefetch/internal/workloads"
 )
 
@@ -76,6 +77,16 @@ type Options struct {
 	// in a fixed order; only wall-clock time changes. Single-flight
 	// caching dedupes runs shared between concurrent experiments.
 	Parallel int
+	// ReplayTrace replays the block-event stream from this recorded
+	// trace file instead of interpreting the workload live. The trace
+	// must match the workload and seed; a replayed run produces the
+	// identical StatsDigest as its live counterpart. Incompatible with
+	// Fault.
+	ReplayTrace string
+	// TraceDir enables replay-backed experiments: workloads with a
+	// recorded trace at <TraceDir>/<workload>.hpt replay from it, the
+	// rest run live.
+	TraceDir string
 }
 
 // parallel resolves the configured sweep width.
@@ -121,6 +132,8 @@ func (o *Options) runConfig() (harness.RunConfig, error) {
 		}
 		rc.Fault = cfg
 	}
+	rc.TracePath = o.ReplayTrace
+	rc.TraceDir = o.TraceDir
 	return rc, nil
 }
 
@@ -278,6 +291,67 @@ func RunAllExperiments(opt *Options) ([]*Table, error) {
 		out[i] = fromInternal(t)
 	}
 	return out, err
+}
+
+// TraceSummary describes a recorded block-event trace file.
+type TraceSummary struct {
+	// Workload and Seed identify what the trace was captured from.
+	Workload string
+	Seed     uint64
+	// Frames, Events, Instructions and Requests are stream totals (for
+	// a truncated trace: totals of the readable prefix).
+	Frames       int
+	Events       uint64
+	Instructions uint64
+	Requests     uint64
+	// FileBytes is the on-disk size, header and index included.
+	FileBytes int64
+	// Complete reports a sealed, seekable trace; Truncated one cut
+	// mid-write (still replayable up to its last complete frame).
+	Complete  bool
+	Truncated bool
+}
+
+// RecordTrace captures a workload's retired block-event stream to path,
+// covering the configured warm+measure window plus a lookahead tail, so
+// any scheme can later be simulated from the file via
+// Options.ReplayTrace with a StatsDigest identical to the live run.
+func RecordTrace(workload, path string, opt *Options) (TraceSummary, error) {
+	rc, err := opt.runConfig()
+	if err != nil {
+		return TraceSummary{}, err
+	}
+	if _, err := harness.RecordTrace(workload, path, rc); err != nil {
+		return TraceSummary{}, err
+	}
+	info, err := tracefile.Stat(path)
+	if err != nil {
+		return TraceSummary{}, err
+	}
+	return traceSummary(info), nil
+}
+
+// TraceInfo inspects an existing trace file without simulating it.
+func TraceInfo(path string) (TraceSummary, error) {
+	info, err := tracefile.Stat(path)
+	if err != nil {
+		return TraceSummary{}, err
+	}
+	return traceSummary(info), nil
+}
+
+func traceSummary(info tracefile.Info) TraceSummary {
+	return TraceSummary{
+		Workload:     info.Meta.Workload,
+		Seed:         info.Meta.Seed,
+		Frames:       info.Frames,
+		Events:       info.Events,
+		Instructions: info.Instructions,
+		Requests:     info.Requests,
+		FileBytes:    info.FileBytes,
+		Complete:     info.Indexed,
+		Truncated:    info.Truncated,
+	}
 }
 
 // BundleReport summarises a workload's static Bundle identification —

@@ -13,7 +13,10 @@ import (
 
 // Fig1StageFootprints reproduces Figure 1: the TiDB request pipeline and
 // the average instruction footprint (touched cache blocks) of each stage
-// during TPC-C-like execution.
+// during TPC-C-like execution. Like runOne, it honours rc.TracePath /
+// rc.TraceDir: the stage view computed from a recorded trace is
+// identical to the live one, because stage attribution rides in the
+// trace alongside the events.
 func Fig1StageFootprints(rc RunConfig) (*Table, error) {
 	name := "tidb-tpcc"
 	if len(rc.Workloads) == 1 {
@@ -23,7 +26,22 @@ func Fig1StageFootprints(rc RunConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := built.NewEngine()
+	var eng sim.EventSource = built.NewEngine()
+	tracePath := rc.TracePath
+	if tracePath == "" && rc.TraceDir != "" {
+		tracePath = tracePathFor(rc.TraceDir, name)
+	}
+	if tracePath != "" {
+		tr, err := loadTrace(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if tm := tr.Meta(); tm.Workload != name || tm.Seed != built.Workload.TraceSeed {
+			return nil, fmt.Errorf("harness: trace %s was recorded from workload %q seed %d, want %q seed %d",
+				tracePath, tm.Workload, tm.Seed, name, built.Workload.TraceSeed)
+		}
+		eng = tr.Replay()
+	}
 	prog := built.Loaded.Prog
 	nStages := len(prog.Stages)
 	cur := make([]map[isa.Block]struct{}, nStages)
@@ -45,6 +63,14 @@ func Fig1StageFootprints(rc RunConfig) (*Table, error) {
 	}
 	for instr < budget {
 		ev := eng.Next()
+		if ev.NumInstr == 0 {
+			// Finite source (a trace) ran out before the budget; a torn
+			// tail is an error, a clean end just truncates the view.
+			if err := sourceErr(eng); err != nil {
+				return nil, fmt.Errorf("harness: figure 1: %w", err)
+			}
+			break
+		}
 		instr += uint64(ev.NumInstr)
 		if ev.Branch == isa.BrJump && ev.Func == prog.Entry {
 			flush() // request boundary

@@ -11,9 +11,12 @@ package harness
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -26,6 +29,7 @@ import (
 	"hprefetch/internal/prefetch/mana"
 	"hprefetch/internal/sim"
 	"hprefetch/internal/trace"
+	"hprefetch/internal/tracefile"
 	"hprefetch/internal/workloads"
 )
 
@@ -73,6 +77,22 @@ type RunConfig struct {
 	// like-for-like (bundle-channel faults are naturally no-ops for
 	// schemes that ignore tags).
 	Fault fault.Config
+
+	// TracePath replays the event stream from this recorded trace file
+	// instead of interpreting the program live. The trace must have
+	// been captured from the same workload and engine seed; a replayed
+	// run produces the identical StatsDigest as its live counterpart.
+	TracePath string
+	// TraceDir enables replay-backed experiments: a workload whose
+	// trace exists at <TraceDir>/<workload>.hpt replays from it, the
+	// rest run live.
+	TraceDir string
+	// RecordPath tees the run's event stream to a trace file while
+	// simulating live, appending a lookahead tail so the trace can
+	// later feed any scheme over the same warm+measure window. Mutually
+	// exclusive with replay; incompatible with fault injection (loader
+	// faults perturb the stream itself).
+	RecordPath string
 
 	// Ctx, when non-nil, bounds every run performed under this
 	// configuration: cancellation or deadline expiry stops the
@@ -137,6 +157,7 @@ func (rc *RunConfig) key(workload string, scheme Scheme) string {
 	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%v", workload, scheme,
 		rc.WarmInstr, rc.MeasureInstr, rc.ManaLookahead, rc.EFetchLookahead, rc.TrackBundles)
 	fmt.Fprintf(h, "|%s|%g|%d", rc.Fault.Class, rc.Fault.Rate, rc.Fault.Seed)
+	fmt.Fprintf(h, "|%s|%s|%s", rc.TracePath, rc.TraceDir, rc.RecordPath)
 	fmt.Fprintf(h, "%+v", rc.Params)
 	if rc.HierConfig != nil {
 		fmt.Fprintf(h, "%+v", *rc.HierConfig)
@@ -173,6 +194,58 @@ func Run(workload string, scheme Scheme, rc RunConfig) (*Result, error) {
 	return defaultRunner.Run(workload, scheme, rc)
 }
 
+// RunUncached performs one simulation bypassing the shared Runner —
+// benchmarks that must time real work and golden tests comparing live
+// against replayed runs use it.
+func RunUncached(workload string, scheme Scheme, rc RunConfig) (*Result, error) {
+	return runOne(rc.context(), workload, scheme, rc)
+}
+
+// TraceExt is the conventional extension for recorded traces; TraceDir
+// resolution looks for <dir>/<workload> + TraceExt.
+const TraceExt = ".hpt"
+
+// tracePathFor resolves the replay trace for workload under dir,
+// returning "" (fall back to live) when none has been recorded there.
+func tracePathFor(dir, workload string) string {
+	p := filepath.Join(dir, workload+TraceExt)
+	if st, err := os.Stat(p); err == nil && st.Mode().IsRegular() {
+		return p
+	}
+	return ""
+}
+
+// sourceErr extracts a finite event source's terminal error, treating a
+// clean end of stream (tracefile.ErrExhausted) as success.
+func sourceErr(src sim.EventSource) error {
+	e, ok := src.(interface{ Err() error })
+	if !ok {
+		return nil
+	}
+	if err := e.Err(); err != nil && !errors.Is(err, tracefile.ErrExhausted) {
+		return err
+	}
+	return nil
+}
+
+// RecordTrace captures workload's event stream to path without running a
+// simulator: the live engine is pulled until rc.WarmInstr+rc.MeasureInstr
+// instructions are covered, plus a tail of tracefile.TailEvents so the
+// trace can feed any scheme's lookahead over that window. The returned
+// summary describes the sealed file.
+func RecordTrace(workload, path string, rc RunConfig) (tracefile.Summary, error) {
+	if rc.Fault.Enabled() {
+		return tracefile.Summary{}, fmt.Errorf("harness: recording %s: traces capture the clean stream; fault injection is not recordable", workload)
+	}
+	built, err := workloads.Build(workload)
+	if err != nil {
+		return tracefile.Summary{}, err
+	}
+	target := rc.WarmInstr + rc.MeasureInstr
+	meta := tracefile.Meta{Workload: workload, Seed: built.Workload.TraceSeed, TargetInstructions: target}
+	return tracefile.Record(path, trace.New(built.Loaded, built.Workload.TraceSeed), meta, target, tracefile.TailEvents, tracefile.Options{})
+}
+
 // runOne performs the simulation behind Run. Any panic raised inside
 // the stack (loader, engine, simulator, prefetcher) is recovered into a
 // wrapped error; only genuinely successful runs are memoised.
@@ -192,6 +265,21 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		return nil, err
 	}
 
+	// Event-source selection: explicit replay beats directory-resolved
+	// replay beats live interpretation. Replay, record and fault
+	// injection do not mix — a teed or replayed stream must be the clean
+	// one the trace header promises.
+	tracePath := rc.TracePath
+	if tracePath == "" && rc.TraceDir != "" {
+		tracePath = tracePathFor(rc.TraceDir, workload)
+	}
+	if tracePath != "" && rc.RecordPath != "" {
+		return nil, fmt.Errorf("harness: %s/%s: trace replay and recording are mutually exclusive", workload, scheme)
+	}
+	if (tracePath != "" || rc.RecordPath != "") && rc.Fault.Enabled() {
+		return nil, fmt.Errorf("harness: %s/%s: trace replay/recording cannot be combined with fault injection", workload, scheme)
+	}
+
 	// Fault wiring: perturb the .bundles segment through the degraded
 	// loader path and hand the injector to the machine.
 	var inj *fault.Injector
@@ -204,11 +292,45 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		ld = loader.LoadLinkedDegraded(built.Loaded.Prog, built.Linked.Image, inj.PerturbBundles)
 	}
 
+	var src sim.EventSource
+	var rec *tracefile.Recorder
+	finished := false
+	switch {
+	case tracePath != "":
+		tr, err := loadTrace(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", workload, scheme, err)
+		}
+		if tm := tr.Meta(); tm.Workload != workload || tm.Seed != built.Workload.TraceSeed {
+			return nil, fmt.Errorf("harness: %s/%s: trace %s was recorded from workload %q seed %d, want %q seed %d",
+				workload, scheme, tracePath, tm.Workload, tm.Seed, workload, built.Workload.TraceSeed)
+		}
+		src = tr.Replay()
+	case rc.RecordPath != "":
+		meta := tracefile.Meta{
+			Workload:           workload,
+			Seed:               built.Workload.TraceSeed,
+			TargetInstructions: rc.WarmInstr + rc.MeasureInstr,
+		}
+		rec, err = tracefile.RecordTo(rc.RecordPath, trace.New(ld, built.Workload.TraceSeed), meta, tracefile.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", workload, scheme, err)
+		}
+		defer func() {
+			if !finished {
+				rec.Abort()
+			}
+		}()
+		src = rec
+	default:
+		src = trace.New(ld, built.Workload.TraceSeed)
+	}
+
 	prm := rc.Params
 	if scheme == SchemePerfect {
 		prm.PerfectL1I = true
 	}
-	m, err := sim.New(prm, trace.New(ld, built.Workload.TraceSeed), nil)
+	m, err := sim.New(prm, src, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +379,15 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 	m.ResetStats()
 	if err := m.Run(rc.MeasureInstr); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s measure: %w", workload, scheme, err)
+	}
+	if rec != nil {
+		// Pull the lookahead tail past the measure window so the trace
+		// can later feed any scheme's FTQ over the same instructions,
+		// then seal index and trailer.
+		if _, err := rec.Finish(tracefile.TailEvents); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: sealing trace: %w", workload, scheme, err)
+		}
+		finished = true
 	}
 	res = &Result{Stats: m.Stats(), TagDrops: ld.TagDrops}
 	if hier != nil {

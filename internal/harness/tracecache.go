@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"hprefetch/internal/tracefile"
+)
+
+// Replayed traces are decoded once per process and cached in memory,
+// for the same reason built workloads are: a replay-backed experiment
+// streams the same trace through every scheme of a comparison, and the
+// decode (CRC, inflate, delta reconstruction) is the only part of
+// replay that costs anything. The cache is a small LRU keyed by file
+// identity — path plus size and modification time, so re-recording a
+// trace in place is picked up — and bounded by entry count: traces are
+// a few tens of megabytes decoded, and experiments touch at most a
+// handful of distinct files.
+const traceCacheCap = 4
+
+type traceCacheEntry struct {
+	size   int64
+	mtime  time.Time
+	loaded *tracefile.Loaded
+	used   uint64 // LRU clock
+}
+
+var (
+	traceCacheMu   sync.Mutex
+	traceCache     = map[string]*traceCacheEntry{}
+	traceCacheTick uint64
+)
+
+// loadTrace returns the decoded in-memory form of the trace at path,
+// decoding it on first use.
+func loadTrace(path string) (*tracefile.Loaded, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+
+	traceCacheMu.Lock()
+	traceCacheTick++
+	if e, ok := traceCache[path]; ok && e.size == st.Size() && e.mtime.Equal(st.ModTime()) {
+		e.used = traceCacheTick
+		l := e.loaded
+		traceCacheMu.Unlock()
+		return l, nil
+	}
+	traceCacheMu.Unlock()
+
+	// Decode outside the lock; concurrent first loads of the same path
+	// duplicate work harmlessly (the single-flight Runner above already
+	// collapses identical runs).
+	l, err := tracefile.Load(path)
+	if err != nil {
+		return nil, err
+	}
+
+	traceCacheMu.Lock()
+	defer traceCacheMu.Unlock()
+	traceCacheTick++
+	traceCache[path] = &traceCacheEntry{size: st.Size(), mtime: st.ModTime(), loaded: l, used: traceCacheTick}
+	for len(traceCache) > traceCacheCap {
+		oldPath, oldUsed := "", ^uint64(0)
+		for p, e := range traceCache {
+			if e.used < oldUsed {
+				oldPath, oldUsed = p, e.used
+			}
+		}
+		delete(traceCache, oldPath)
+	}
+	return l, nil
+}

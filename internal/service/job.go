@@ -53,6 +53,11 @@ type RunRequest struct {
 	// for this job: 0 keeps the server default, negative disables
 	// retries, positive values are clamped to the server maximum.
 	MaxRetries int `json:"max_retries,omitempty"`
+	// TracePath names a server-side recorded trace: a trace file to
+	// replay the named workload from, or a directory of
+	// <workload>.hpt files for experiments (workloads without a trace
+	// run live). Validated at submission; incompatible with Fault.
+	TracePath string `json:"trace_path,omitempty"`
 }
 
 // RunResult summarises a completed simulation for the API.

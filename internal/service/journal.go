@@ -38,8 +38,11 @@ import (
 // packed, same style as binfmt.Magic).
 const journalMagic = 0x4850_4A4C_0001_0001
 
-// journalVersion is the current journal format version.
-const journalVersion = 1
+// journalVersion is the current journal format version. v2 added
+// RunRequest.TracePath to submit records; decoding is exact-consumption,
+// so v1 journals are rejected at startup rather than misread (operators
+// drain or delete the old journal before upgrading).
+const journalVersion = 2
 
 const journalHeaderSize = 10
 
@@ -222,6 +225,7 @@ func encodeJournalPayload(rec journalRecord) ([]byte, error) {
 		w.str(q.Fault)
 		w.i64(q.TimeoutMS)
 		w.i64(int64(q.MaxRetries))
+		w.str(q.TracePath)
 	case opStart:
 		w.u32(rec.Attempt)
 	case opFinish:
@@ -266,6 +270,7 @@ func decodeJournalPayload(payload []byte) (journalRecord, error) {
 		q.Fault = r.str()
 		q.TimeoutMS = r.i64()
 		q.MaxRetries = int(r.i64())
+		q.TracePath = r.str()
 	case opStart:
 		rec.Attempt = r.u32()
 	case opFinish:

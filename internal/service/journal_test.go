@@ -17,6 +17,7 @@ func sampleRecords() []journalRecord {
 			Workload: "gin", Scheme: "Hierarchical",
 			WarmInstr: 1000, MeasureInstr: 2000,
 			Quick: true, Fault: "tag-flip:0.001:7", TimeoutMS: 5000, MaxRetries: 3,
+			TracePath: "/var/traces/gin.hpt",
 		}},
 		{Op: opStart, ID: "job-000042", Attempt: 1},
 		{Op: opSubmit, ID: "job-000043", Kind: "experiment", Req: RunRequest{

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -41,6 +42,7 @@ import (
 
 	"hprefetch/internal/fault"
 	"hprefetch/internal/harness"
+	"hprefetch/internal/tracefile"
 	"hprefetch/internal/workloads"
 	"hprefetch/internal/xrand"
 )
@@ -643,6 +645,25 @@ func (s *Server) buildRunConfig(req *RunRequest) (harness.RunConfig, time.Durati
 			return rc, 0, err
 		}
 		rc.Fault = cfg
+	}
+	if req.TracePath != "" {
+		if req.Fault != "" {
+			return rc, 0, fmt.Errorf("trace_path cannot be combined with fault injection")
+		}
+		st, err := os.Stat(req.TracePath)
+		switch {
+		case err != nil:
+			return rc, 0, fmt.Errorf("trace_path: %w", err)
+		case st.IsDir():
+			rc.TraceDir = req.TracePath
+		default:
+			// Validate the file up front so a corrupt or foreign trace is
+			// rejected at submission, not buried in a failed job.
+			if _, err := tracefile.Stat(req.TracePath); err != nil {
+				return rc, 0, fmt.Errorf("trace_path: %w", err)
+			}
+			rc.TracePath = req.TracePath
+		}
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hprefetch/internal/harness"
+)
+
+// TestTracePathRun submits a run replaying a server-side trace and
+// checks the service-level guarantee: the replayed job's digest equals
+// the live job's. Directory submissions (TraceDir semantics) and the
+// rejection paths ride along.
+func TestTracePathRun(t *testing.T) {
+	rc := harness.DefaultRunConfig()
+	rc.WarmInstr = 50_000
+	rc.MeasureInstr = 100_000
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gin"+harness.TraceExt)
+	if _, err := harness.RecordTrace("gin", path, rc); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	live := await(t, ts, submit(t, ts, tinyRun("Hierarchical")).ID, 2*time.Minute)
+	if live.State != JobDone {
+		t.Fatalf("live job finished %s (%s)", live.State, live.Error)
+	}
+
+	replayReq := tinyRun("Hierarchical")
+	replayReq.TracePath = path
+	replay := await(t, ts, submit(t, ts, replayReq).ID, 2*time.Minute)
+	if replay.State != JobDone {
+		t.Fatalf("replay job finished %s (%s)", replay.State, replay.Error)
+	}
+	if replay.Result.StatsDigest != live.Result.StatsDigest {
+		t.Fatalf("replayed digest %s != live digest %s",
+			replay.Result.StatsDigest, live.Result.StatsDigest)
+	}
+
+	// A directory resolves per workload (TraceDir semantics).
+	dirReq := tinyRun("Hierarchical")
+	dirReq.TracePath = dir
+	fromDir := await(t, ts, submit(t, ts, dirReq).ID, 2*time.Minute)
+	if fromDir.State != JobDone || fromDir.Result.StatsDigest != live.Result.StatsDigest {
+		t.Fatalf("directory replay: state %s digest %s, want done/%s",
+			fromDir.State, fromDir.Result.StatsDigest, live.Result.StatsDigest)
+	}
+
+	// Rejections happen at submission, with 400s, before any job exists.
+	for name, req := range map[string]RunRequest{
+		"missing file": func() RunRequest {
+			r := tinyRun("FDIP")
+			r.TracePath = filepath.Join(dir, "absent.hpt")
+			return r
+		}(),
+		"trace with fault": func() RunRequest {
+			r := tinyRun("FDIP")
+			r.TracePath = path
+			r.Fault = "tag-flip:0.001"
+			return r
+		}(),
+	} {
+		resp := postJSON(t, ts.URL+"/v1/runs", req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: submission returned %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"hprefetch/internal/bpu"
@@ -9,7 +10,6 @@ import (
 	"hprefetch/internal/fault"
 	"hprefetch/internal/isa"
 	"hprefetch/internal/prefetch"
-	"hprefetch/internal/trace"
 )
 
 // blockKind classifies why the prediction cursor stopped.
@@ -38,7 +38,7 @@ type pfReq struct {
 // evaluation.
 type Machine struct {
 	prm Params
-	eng *trace.Engine
+	eng EventSource
 	bp  *bpu.Unit
 	pf  prefetch.Prefetcher
 	st  *Stats
@@ -104,8 +104,10 @@ type Machine struct {
 	histHead   int
 }
 
-// New builds a machine. pf may be nil (FDIP-only baseline).
-func New(prm Params, eng *trace.Engine, pf prefetch.Prefetcher) (*Machine, error) {
+// New builds a machine over any event source — the live engine, a
+// trace-file reader, or a recorder teeing one to disk. pf may be nil
+// (FDIP-only baseline).
+func New(prm Params, eng EventSource, pf prefetch.Prefetcher) (*Machine, error) {
 	if prm.FetchWidth <= 0 || CycleScale%prm.FetchWidth != 0 {
 		return nil, fmt.Errorf("sim: fetch width %d must divide %d", prm.FetchWidth, CycleScale)
 	}
@@ -226,7 +228,13 @@ func (m *Machine) Run(n uint64) error {
 		}
 		steps++
 		m.advanceCursor()
+		if m.err != nil {
+			break
+		}
 		ev, wasInFTQ := m.popEvent()
+		if m.err != nil {
+			break
+		}
 		m.fetch(&ev, wasInFTQ)
 	}
 	m.st.Requests += m.eng.Requests() - startReq
@@ -237,10 +245,25 @@ func (m *Machine) Run(n uint64) error {
 	return ctxErr
 }
 
-// ensure pulls engine events until ring position i exists.
+// ensure pulls source events until ring position i exists. A finite
+// source running dry (zero event) latches an error instead of feeding
+// the ring garbage — replaying a trace shorter than the run is a
+// failure, not a silent stall.
 func (m *Machine) ensure(i int) {
 	for m.count <= i {
-		m.ring[(m.head+m.count)%len(m.ring)] = m.eng.Next()
+		ev := m.eng.Next()
+		if ev.NumInstr == 0 {
+			cause := errors.New("event source ran dry")
+			if es, ok := m.eng.(interface{ Err() error }); ok {
+				if err := es.Err(); err != nil {
+					cause = err
+				}
+			}
+			m.fail(fmt.Errorf("sim: event stream ended after %d instructions: %w",
+				m.eng.Instructions(), cause))
+			return
+		}
+		m.ring[(m.head+m.count)%len(m.ring)] = ev
 		m.count++
 	}
 }
@@ -249,6 +272,9 @@ func (m *Machine) ensure(i int) {
 // already passed it (it was in the FTQ).
 func (m *Machine) popEvent() (isa.BlockEvent, bool) {
 	m.ensure(0)
+	if m.count == 0 {
+		return isa.BlockEvent{}, false
+	}
 	ev := m.ring[m.head]
 	m.head = (m.head + 1) % len(m.ring)
 	m.count--
@@ -271,6 +297,9 @@ func (m *Machine) advanceCursor() {
 			m.specSynced = true
 		}
 		m.ensure(m.predOff)
+		if m.count <= m.predOff {
+			return // source ran dry; the error is latched
+		}
 		ev := &m.ring[(m.head+m.predOff)%len(m.ring)]
 		m.predOff++
 		// The branch predictor produces one fetch region per cycle;

@@ -1,0 +1,37 @@
+package sim
+
+import "hprefetch/internal/isa"
+
+// EventSource feeds the machine its retired block-event stream. The
+// live implementation is trace.Engine (interpreting the synthetic
+// program); tracefile.Reader replays a recorded stream and
+// tracefile.Recorder tees a live one to disk — all three satisfy this
+// interface structurally, so the machine cannot tell record, replay and
+// live apart (which is exactly the digest-equality guarantee).
+//
+// The counters follow the engine's sampling contract: they describe
+// the state after the most recently returned event and are only
+// meaningful between Next calls.
+//
+// A live engine's stream is unbounded. A finite source (a trace file)
+// signals its end by returning a zero event (NumInstr == 0) from Next;
+// sources that can also explain why should implement
+//
+//	Err() error
+//
+// which the machine consults to report the cause (e.g. a truncated
+// trace) instead of a bare exhaustion error.
+type EventSource interface {
+	// Next returns the next retired block event.
+	Next() isa.BlockEvent
+	// Instructions is the total instructions emitted so far.
+	Instructions() uint64
+	// Requests is how many requests have been started so far.
+	Requests() uint64
+	// CurrentType is the request type being processed.
+	CurrentType() int
+	// Stage is the effective pipeline stage (program.NoStage outside one).
+	Stage() int16
+	// Depth is the current simulated call-stack depth.
+	Depth() int
+}

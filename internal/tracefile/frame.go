@@ -1,0 +1,319 @@
+package tracefile
+
+import (
+	"hprefetch/internal/isa"
+)
+
+// The frame body codec. A frame is a self-contained slice of the event
+// stream: its header carries the engine counters as they stood before
+// the frame's first event (so attribution deltas have a base and replay
+// can resume mid-stream), its footer repeats the running instruction
+// and request counts for integrity, and each event is delta-encoded
+// against its predecessor:
+//
+//	u8 flags      branch kind (bits 0-2), taken, tagged, func-changed,
+//	              attrs-changed, addr-jump
+//	uvarint       NumInstr
+//	[addr-jump]   zigzag Addr − previous Target (omitted when the event
+//	              continues where the last one pointed — the common case)
+//	[branch≠none] zigzag Target − EndAddr
+//	[func-chg]    zigzag Func − previous Func
+//	[attrs-chg]   u8 attr bits, then per set bit: request delta (uvarint,
+//	              ≥1), new type (uvarint), new stage (zigzag), depth
+//	              delta (zigzag, ≠0)
+//
+// BrPC and a BrNone event's Target are derived from Addr and NumInstr,
+// never stored. The decoder enforces canonical form throughout —
+// minimal varints, no set flag with a zero delta, in-range values, a
+// footer matching the recomputed totals — so any accepted body
+// re-encodes to identical bytes (FuzzTraceDecode checks exactly this).
+
+// Event flag bits.
+const (
+	evBranchMask byte = 0x07
+	evTaken      byte = 1 << 3
+	evTagged     byte = 1 << 4
+	evFuncDelta  byte = 1 << 5
+	evAttrDelta  byte = 1 << 6
+	evAddrJump   byte = 1 << 7
+)
+
+// Attribute-change bits.
+const (
+	atRequests byte = 1 << 0
+	atType     byte = 1 << 1
+	atStage    byte = 1 << 2
+	atDepth    byte = 1 << 3
+)
+
+// Sanity bounds for decoded attribution values: generous multiples of
+// anything the engine produces, tight enough that corrupt input cannot
+// smuggle absurd state into a replayed run.
+const (
+	maxTypeValue = 1 << 20
+	maxDepth     = 1 << 20
+)
+
+// frameStart is the engine-observable state immediately before a
+// frame's first event.
+type frameStart struct {
+	Instr uint64
+	A     Attrs
+}
+
+// encodeFrameBody serialises one frame (uncompressed form).
+// len(attrs) must equal len(events).
+func encodeFrameBody(start frameStart, events []isa.BlockEvent, attrs []Attrs) []byte {
+	w := &bwriter{buf: make([]byte, 0, 6*len(events)+64)}
+	w.uvarint(uint64(len(events)))
+	w.uvarint(start.Instr)
+	w.uvarint(start.A.Requests)
+	w.uvarint(uint64(start.A.Type))
+	w.zigzag(int64(start.A.Stage))
+	w.uvarint(uint64(start.A.Depth))
+
+	prevTarget := isa.Addr(0)
+	prevFunc := isa.FuncID(0)
+	prev := start.A
+	instr := start.Instr
+	for i := range events {
+		ev := &events[i]
+		a := attrs[i]
+		flags := byte(ev.Branch) & evBranchMask
+		if ev.Taken {
+			flags |= evTaken
+		}
+		if ev.Tagged {
+			flags |= evTagged
+		}
+		addrDelta := int64(ev.Addr) - int64(prevTarget)
+		if addrDelta != 0 {
+			flags |= evAddrJump
+		}
+		funcDelta := int64(ev.Func) - int64(prevFunc)
+		if funcDelta != 0 {
+			flags |= evFuncDelta
+		}
+		var ab byte
+		if a.Requests != prev.Requests {
+			ab |= atRequests
+		}
+		if a.Type != prev.Type {
+			ab |= atType
+		}
+		if a.Stage != prev.Stage {
+			ab |= atStage
+		}
+		if a.Depth != prev.Depth {
+			ab |= atDepth
+		}
+		if ab != 0 {
+			flags |= evAttrDelta
+		}
+
+		w.u8(flags)
+		w.uvarint(uint64(ev.NumInstr))
+		if addrDelta != 0 {
+			w.zigzag(addrDelta)
+		}
+		if ev.Branch != isa.BrNone {
+			w.zigzag(int64(ev.Target) - int64(ev.EndAddr()))
+		}
+		if funcDelta != 0 {
+			w.zigzag(funcDelta)
+		}
+		if ab != 0 {
+			w.u8(ab)
+			if ab&atRequests != 0 {
+				w.uvarint(a.Requests - prev.Requests)
+			}
+			if ab&atType != 0 {
+				w.uvarint(uint64(a.Type))
+			}
+			if ab&atStage != 0 {
+				w.zigzag(int64(a.Stage))
+			}
+			if ab&atDepth != 0 {
+				w.zigzag(int64(a.Depth) - int64(prev.Depth))
+			}
+		}
+
+		prevTarget = ev.Target
+		prevFunc = ev.Func
+		prev = a
+		instr += uint64(ev.NumInstr)
+	}
+	w.uvarint(instr)
+	w.uvarint(prev.Requests)
+	return w.buf
+}
+
+// decodeFrameBody parses one frame body, enforcing canonical encoding.
+// It never panics on corrupt input.
+func decodeFrameBody(body []byte) (frameStart, []isa.BlockEvent, []Attrs, error) {
+	return decodeFrameBodyInto(body, nil, nil)
+}
+
+// decodeFrameBodyInto is decodeFrameBody appending into caller-provided
+// slices — the Reader's steady-state path, which reuses its frame
+// buffers so replay allocates nothing per frame.
+func decodeFrameBodyInto(body []byte, events []isa.BlockEvent, attrs []Attrs) (frameStart, []isa.BlockEvent, []Attrs, error) {
+	r := &breader{buf: body}
+	var start frameStart
+	count := r.uvarint()
+	start.Instr = r.uvarint()
+	start.A.Requests = r.uvarint()
+	typ := r.uvarint()
+	stage := r.zigzag()
+	depth := r.uvarint()
+	if r.err == nil {
+		switch {
+		case count > maxFrameEvents:
+			r.fail("implausible frame event count %d", count)
+		case 2*count > uint64(len(body)-r.off):
+			r.fail("frame event count %d exceeds payload", count)
+		case typ > maxTypeValue:
+			r.fail("start type %d out of range", typ)
+		case stage < -32768 || stage > 32767:
+			r.fail("start stage %d out of range", stage)
+		case depth > maxDepth:
+			r.fail("start depth %d out of range", depth)
+		}
+	}
+	if r.err != nil {
+		return start, nil, nil, r.err
+	}
+	start.A.Type = int(typ)
+	start.A.Stage = int16(stage)
+	start.A.Depth = int(depth)
+
+	if uint64(cap(events)) < count {
+		events = make([]isa.BlockEvent, 0, count)
+	}
+	if uint64(cap(attrs)) < count {
+		attrs = make([]Attrs, 0, count)
+	}
+	prevTarget := isa.Addr(0)
+	prevFunc := isa.FuncID(0)
+	prev := start.A
+	instr := start.Instr
+	for i := uint64(0); i < count && r.err == nil; i++ {
+		flags := r.u8()
+		var ev isa.BlockEvent
+		ev.Branch = isa.BranchKind(flags & evBranchMask)
+		if ev.Branch > isa.BrRet {
+			r.fail("event %d: branch kind %d out of range", i, ev.Branch)
+			break
+		}
+		ev.Taken = flags&evTaken != 0
+		ev.Tagged = flags&evTagged != 0
+		n := r.uvarint()
+		if r.err == nil && (n == 0 || n > isa.InstrPerBlock) {
+			r.fail("event %d: instruction count %d out of range", i, n)
+			break
+		}
+		ev.NumInstr = uint16(n)
+		addr := int64(prevTarget)
+		if flags&evAddrJump != 0 {
+			d := r.zigzag()
+			if r.err == nil && d == 0 {
+				r.fail("event %d: addr-jump flag with zero delta", i)
+				break
+			}
+			addr += d
+		}
+		if addr < 0 {
+			r.fail("event %d: negative address", i)
+			break
+		}
+		ev.Addr = isa.Addr(addr)
+		end := ev.EndAddr()
+		if ev.Branch != isa.BrNone {
+			tgt := int64(end) + r.zigzag()
+			if tgt < 0 {
+				r.fail("event %d: negative branch target", i)
+				break
+			}
+			ev.Target = isa.Addr(tgt)
+			ev.BrPC = end - isa.InstrSize
+		} else {
+			ev.Target = end
+		}
+		fn := int64(prevFunc)
+		if flags&evFuncDelta != 0 {
+			d := r.zigzag()
+			if r.err == nil && d == 0 {
+				r.fail("event %d: func-changed flag with zero delta", i)
+				break
+			}
+			fn += d
+		}
+		if fn < 0 || fn > int64(^uint32(0)) {
+			r.fail("event %d: function id out of range", i)
+			break
+		}
+		ev.Func = isa.FuncID(fn)
+
+		a := prev
+		if flags&evAttrDelta != 0 {
+			ab := r.u8()
+			if r.err == nil && (ab == 0 || ab&^(atRequests|atType|atStage|atDepth) != 0) {
+				r.fail("event %d: invalid attr bits %#x", i, ab)
+				break
+			}
+			if ab&atRequests != 0 {
+				d := r.uvarint()
+				if r.err == nil && d == 0 {
+					r.fail("event %d: request flag with zero delta", i)
+					break
+				}
+				a.Requests += d
+			}
+			if ab&atType != 0 {
+				t := r.uvarint()
+				if r.err == nil && (t == uint64(prev.Type) || t > maxTypeValue) {
+					r.fail("event %d: non-canonical type %d", i, t)
+					break
+				}
+				a.Type = int(t)
+			}
+			if ab&atStage != 0 {
+				s := r.zigzag()
+				if r.err == nil && (s == int64(prev.Stage) || s < -32768 || s > 32767) {
+					r.fail("event %d: non-canonical stage %d", i, s)
+					break
+				}
+				a.Stage = int16(s)
+			}
+			if ab&atDepth != 0 {
+				d := r.zigzag()
+				nd := int64(prev.Depth) + d
+				if r.err == nil && (d == 0 || nd < 0 || nd > maxDepth) {
+					r.fail("event %d: non-canonical depth delta %d", i, d)
+					break
+				}
+				a.Depth = int(nd)
+			}
+		}
+
+		events = append(events, ev)
+		attrs = append(attrs, a)
+		prevTarget = ev.Target
+		prevFunc = ev.Func
+		prev = a
+		instr += uint64(ev.NumInstr)
+	}
+	if r.err != nil {
+		return start, nil, nil, r.err
+	}
+	endInstr := r.uvarint()
+	endReq := r.uvarint()
+	if r.err == nil && (endInstr != instr || endReq != prev.Requests) {
+		r.fail("frame footer mismatch: instructions %d/%d, requests %d/%d",
+			endInstr, instr, endReq, prev.Requests)
+	}
+	if err := r.done(); err != nil {
+		return start, nil, nil, err
+	}
+	return start, events, attrs, nil
+}

@@ -1,0 +1,107 @@
+package tracefile
+
+import (
+	"hprefetch/internal/isa"
+)
+
+// Loaded is a fully decoded in-memory trace. Decoding (CRC checks,
+// inflate, varint/delta reconstruction) happens once in Load; Replay
+// then hands out independent cursors whose Next is an array read —
+// strictly cheaper than regenerating the stream live. This is the
+// intended shape for replay-backed experiments, where one recorded
+// trace feeds every scheme of a comparison: decode once, replay many.
+type Loaded struct {
+	meta       Meta
+	startInstr uint64
+	startAttrs Attrs
+	events     []isa.BlockEvent
+	attrs      []Attrs
+	term       error // terminal condition: ErrExhausted, or wraps ErrTruncated
+}
+
+// Load decodes an entire trace into memory. A torn tail is not an
+// error here either: the intact prefix loads and every cursor reports
+// the truncation (via Err) once it runs past the end, mirroring the
+// streaming Reader's contract.
+func Load(path string) (*Loaded, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	l := &Loaded{
+		meta:       r.Meta(),
+		startInstr: r.Instructions(),
+		startAttrs: r.cur,
+	}
+	if r.index != nil {
+		l.events = make([]isa.BlockEvent, 0, r.total.Events)
+		l.attrs = make([]Attrs, 0, r.total.Events)
+	}
+	for {
+		ev := r.Next()
+		if ev.NumInstr == 0 {
+			break
+		}
+		l.events = append(l.events, ev)
+		l.attrs = append(l.attrs, r.cur)
+	}
+	l.term = r.Err()
+	return l, nil
+}
+
+// Meta returns the trace's identity header.
+func (l *Loaded) Meta() Meta { return l.meta }
+
+// Events returns the number of decoded events.
+func (l *Loaded) Events() int { return len(l.events) }
+
+// Complete reports whether the decoded stream reached the trace's
+// clean end (false for a truncated file's intact prefix).
+func (l *Loaded) Complete() bool { return l.term == ErrExhausted }
+
+// Replay returns a fresh cursor positioned at the recorded pre-stream
+// state. Cursors are independent; any number may stream concurrently.
+func (l *Loaded) Replay() *MemReader {
+	return &MemReader{l: l, instr: l.startInstr, cur: l.startAttrs}
+}
+
+// MemReader streams a Loaded trace as an event source (it satisfies
+// Source and sim.EventSource) with the same sentinel-and-Err contract
+// as the file-backed Reader.
+type MemReader struct {
+	l     *Loaded
+	pos   int
+	instr uint64
+	cur   Attrs
+}
+
+// Next returns the next event, or a zero event once the stream has
+// ended — inspect Err for whether the end was clean.
+func (m *MemReader) Next() isa.BlockEvent {
+	if m.pos >= len(m.l.events) {
+		return isa.BlockEvent{}
+	}
+	ev := m.l.events[m.pos]
+	m.cur = m.l.attrs[m.pos]
+	m.pos++
+	m.instr += uint64(ev.NumInstr)
+	return ev
+}
+
+// Err mirrors Reader.Err: nil while events remain, then the loaded
+// trace's terminal condition.
+func (m *MemReader) Err() error {
+	if m.pos < len(m.l.events) {
+		return nil
+	}
+	return m.l.term
+}
+
+// Instructions, Requests, CurrentType, Stage and Depth follow the
+// engine's sampling contract (state after the most recent event).
+func (m *MemReader) Instructions() uint64 { return m.instr }
+func (m *MemReader) Requests() uint64     { return m.cur.Requests }
+func (m *MemReader) CurrentType() int     { return m.cur.Type }
+func (m *MemReader) Stage() int16         { return m.cur.Stage }
+func (m *MemReader) Depth() int           { return m.cur.Depth }
