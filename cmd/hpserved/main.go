@@ -23,6 +23,25 @@
 // ahead to an append-only log and jobs that were queued or running at
 // shutdown/crash replay on the next start — determinism guarantees the
 // replayed runs produce identical stats digests.
+//
+// Coordinator mode turns hpserved into the front of a fleet of backend
+// hpserved instances instead of a simulator:
+//
+//	hpserved -coordinator -backends http://sim1:8080,http://sim2:8080
+//	hpserved -coordinator -backends ... -journal /var/lib/hp/coord.wal \
+//	         -hedge 30s -quorum 0.1 -probe-interval 2s
+//
+// The coordinator shards sweep jobs across the backends by consistent
+// hash (repeat sweeps land on warm caches), fails over through each
+// job's backend preference list with jittered backoff, optionally
+// hedges stragglers, double-runs a digest-quorum sample of jobs on a
+// second backend to audit cross-machine reproducibility, and — with
+// -journal — recovers in-flight sweeps after a crash. API:
+//
+//	POST /v1/sweeps        submit {"workloads":[...],"schemes":[...]} → 202
+//	GET  /v1/sweeps/{id}   poll (add ?wait=5s to block; streams partials)
+//	GET  /healthz          coordinator + per-backend breaker state
+//	GET  /metrics          fleet counters (JSON)
 package main
 
 import (
@@ -32,10 +51,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hprefetch/internal/fault"
+	"hprefetch/internal/fleet"
 	"hprefetch/internal/service"
 )
 
@@ -53,8 +74,20 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "default transient-failure retries per job (0 = built-in default)")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight HTTP requests")
 		chaos      = flag.String("chaos", "", "service chaos spec, dev only: class[:rate[:seed]] (job-transient, worker-kill)")
+
+		coordinator = flag.Bool("coordinator", false, "coordinate a fleet of backend hpserved instances instead of simulating")
+		backends    = flag.String("backends", "", "coordinator mode: comma-separated backend base URLs")
+		hedge       = flag.Duration("hedge", 0, "coordinator mode: hedge straggler jobs on a second backend after this delay (0 = off)")
+		quorum      = flag.Float64("quorum", 0, "coordinator mode: fraction of jobs double-run on a second backend for digest cross-checks (0 = off)")
+		quorumSeed  = flag.Uint64("quorum-seed", 0, "coordinator mode: seed for the deterministic quorum sample")
+		probeEvery  = flag.Duration("probe-interval", 2*time.Second, "coordinator mode: backend health-probe period (negative = off)")
 	)
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*addr, *backends, *journal, *hedge, *quorum, *quorumSeed, *probeEvery, *drainT)
+		return
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
@@ -108,6 +141,63 @@ func main() {
 	}()
 
 	fmt.Fprintf(os.Stderr, "hpserved: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "hpserved:", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// runCoordinator fronts a fleet of backend hpserved instances.
+func runCoordinator(addr, backendList, journal string, hedge time.Duration, quorum float64, quorumSeed uint64, probeEvery, drainT time.Duration) {
+	var urls []string
+	for _, b := range strings.Split(backendList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "hpserved: -coordinator requires -backends with at least one URL")
+		os.Exit(2)
+	}
+
+	coord, err := fleet.New(fleet.Config{
+		Backends:       urls,
+		JournalPath:    journal,
+		HedgeAfter:     hedge,
+		QuorumFraction: quorum,
+		QuorumSeed:     quorumSeed,
+		ProbeInterval:  probeEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpserved:", err)
+		os.Exit(1)
+	}
+	if n := coord.Metrics().SweepsReplayed.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "hpserved: coordinator replayed %d pending sweep(s) from %s\n", n, journal)
+	}
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "hpserved: coordinator shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), drainT)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "hpserved: shutdown:", err)
+		}
+		coord.Close()
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "hpserved: coordinating %d backend(s) on %s\n", len(urls), addr)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "hpserved:", err)
 		os.Exit(1)

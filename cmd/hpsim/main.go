@@ -14,6 +14,12 @@
 //	hpsim -workload gin -record gin.hpt      # capture a replayable trace
 //	hpsim -workload gin -replay gin.hpt      # simulate from the trace
 //	hpsim -experiment fig9 -tracedir traces/ # replay-backed experiment
+//	hpsim -sweep -workloads gin,echo -schemes FDIP,Hierarchical -quick
+//
+// -sweep renders the same workload × scheme IPC table a fleet
+// coordinator (hpserved -coordinator) aggregates across backends;
+// determinism makes the two byte-identical, which CI exploits to
+// cross-check the fleet path against a single-node run.
 //
 // With -digest, hpsim prints one stable fingerprint line per result
 // instead of the full output. Simulations are deterministic, so the
@@ -49,6 +55,8 @@ func main() {
 		record     = flag.String("record", "", "capture -workload's event stream to this trace file instead of simulating")
 		replay     = flag.String("replay", "", "replay the event stream from this recorded trace instead of running live")
 		tracedir   = flag.String("tracedir", "", "replay workloads with a trace at <dir>/<workload>.hpt, run the rest live")
+		sweep      = flag.Bool("sweep", false, "run a workload × scheme IPC sweep (the table a fleet coordinator produces)")
+		schemes    = flag.String("schemes", "", "comma-separated scheme subset for -sweep (default: all evaluated schemes)")
 	)
 	flag.Parse()
 
@@ -76,6 +84,16 @@ func main() {
 		}
 		fmt.Printf("recorded %s: %d events (%d instructions, %d requests) in %d frames, %d bytes\n",
 			*record, sum.Events, sum.Instructions, sum.Requests, sum.Frames, sum.FileBytes)
+	case *sweep:
+		var schemeList []string
+		if *schemes != "" {
+			schemeList = strings.Split(*schemes, ",")
+		}
+		t, err := hprefetch.RunSweep(schemeList, opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t, *format, *digest)
 	case *workload != "":
 		st, err := hprefetch.Simulate(*workload, hprefetch.Scheme(*scheme), opt)
 		if err != nil {

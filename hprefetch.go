@@ -17,10 +17,12 @@
 package hprefetch
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"hprefetch/internal/fault"
+	"hprefetch/internal/fleet"
 	"hprefetch/internal/harness"
 	"hprefetch/internal/sim"
 	"hprefetch/internal/tracefile"
@@ -291,6 +293,28 @@ func RunAllExperiments(opt *Options) ([]*Table, error) {
 		out[i] = fromInternal(t)
 	}
 	return out, err
+}
+
+// RunSweep runs a workload × scheme IPC sweep locally, single-node.
+// This is the exact computation and table a fleet coordinator
+// (`hpserved -coordinator`) shards across backends: determinism makes
+// the two byte-identical, so `hpsim -sweep` output diffs cleanly
+// against a coordinator's aggregated table — CI uses that diff as a
+// fleet integrity check. Workloads come from opt.Workloads (default
+// all); schemes default to the evaluated set in figure order.
+func RunSweep(schemes []string, opt *Options) (*Table, error) {
+	sp := fleet.SweepSpec{Schemes: schemes}
+	if opt != nil {
+		sp.Workloads = opt.Workloads
+		sp.Quick = opt.Quick
+		sp.WarmInstr = opt.WarmInstructions
+		sp.MeasureInstr = opt.MeasureInstructions
+	}
+	t, err := fleet.RunLocal(context.Background(), sp)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(t), nil
 }
 
 // TraceSummary describes a recorded block-event trace file.

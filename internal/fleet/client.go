@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hprefetch/internal/service"
+)
+
+// Client speaks the hpserved HTTP/JSON API to one backend. The zero
+// value is not usable; construct with newClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+func newClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return &Client{base: base, http: hc}
+}
+
+// Base returns the backend's base URL.
+func (c *Client) Base() string { return c.base }
+
+// backendError is a failure the backend reported (as opposed to a
+// transport failure reaching it); the coordinator treats both as
+// re-dispatchable but health-scores them the same way.
+type backendError struct {
+	status int
+	msg    string
+}
+
+func (e *backendError) Error() string {
+	return fmt.Sprintf("backend returned %d: %s", e.status, e.msg)
+}
+
+// SubmitRun submits one (workload, scheme) job, returning its accepted
+// view (the job id routes the follow-up poll).
+func (c *Client) SubmitRun(ctx context.Context, req service.RunRequest) (service.JobView, error) {
+	return c.postJob(ctx, c.base+"/v1/runs", req)
+}
+
+func (c *Client) postJob(ctx context.Context, url string, req service.RunRequest) (service.JobView, error) {
+	var view service.JobView
+	body, err := json.Marshal(req)
+	if err != nil {
+		return view, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return view, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return view, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return view, readError(resp)
+	}
+	return view, json.NewDecoder(resp.Body).Decode(&view)
+}
+
+// Await polls a job until it reaches a terminal state or ctx ends,
+// using the server's blocking ?wait= parameter so each round trip rides
+// a long poll instead of a busy loop.
+func (c *Client) Await(ctx context.Context, id string) (service.JobView, error) {
+	var view service.JobView
+	for {
+		if err := ctx.Err(); err != nil {
+			return view, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.base+"/v1/runs/"+id+"?wait=5s", nil)
+		if err != nil {
+			return view, err
+		}
+		resp, err := c.http.Do(hreq)
+		if err != nil {
+			return view, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := readError(resp)
+			resp.Body.Close()
+			return view, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return view, err
+		}
+		if view.State.Terminal() {
+			return view, nil
+		}
+	}
+}
+
+// Cancel asks the backend to stop a job (best effort — the hedging
+// loser's work is wasted anyway; this just frees the backend sooner).
+func (c *Client) Cancel(ctx context.Context, id string) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/runs/"+id+"/cancel", nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.http.Do(hreq); err == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // best effort
+		resp.Body.Close()
+	}
+}
+
+// Healthz probes the backend's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readError(resp)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return nil
+}
+
+// readError extracts the API error envelope from a non-2xx response.
+func readError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &env) == nil && env.Error != "" {
+		return &backendError{status: resp.StatusCode, msg: env.Error}
+	}
+	return &backendError{status: resp.StatusCode, msg: string(data)}
+}

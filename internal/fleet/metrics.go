@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"sync/atomic"
+
+	"hprefetch/internal/service"
+)
+
+// Metrics counts the coordinator's observable events. All fields are
+// monotonic; read via Snapshot.
+type Metrics struct {
+	SweepsAccepted atomic.Uint64
+	SweepsReplayed atomic.Uint64
+	SweepsDone     atomic.Uint64
+	SweepsFailed   atomic.Uint64
+
+	JobsDispatched   atomic.Uint64
+	JobsRedispatched atomic.Uint64
+	JobsDone         atomic.Uint64
+	JobsFailed       atomic.Uint64
+
+	Hedges    atomic.Uint64
+	HedgeWins atomic.Uint64
+
+	QuorumRuns       atomic.Uint64
+	QuorumMismatches atomic.Uint64
+
+	ProbeFailures atomic.Uint64
+	JournalErrors atomic.Uint64
+}
+
+// MetricsSnapshot is the JSON projection of Metrics plus per-backend
+// breaker state.
+type MetricsSnapshot struct {
+	SweepsAccepted   uint64 `json:"sweeps_accepted"`
+	SweepsReplayed   uint64 `json:"sweeps_replayed"`
+	SweepsDone       uint64 `json:"sweeps_done"`
+	SweepsFailed     uint64 `json:"sweeps_failed"`
+	JobsDispatched   uint64 `json:"jobs_dispatched"`
+	JobsRedispatched uint64 `json:"jobs_redispatched"`
+	JobsDone         uint64 `json:"jobs_done"`
+	JobsFailed       uint64 `json:"jobs_failed"`
+	Hedges           uint64 `json:"hedges"`
+	HedgeWins        uint64 `json:"hedge_wins"`
+	QuorumRuns       uint64 `json:"quorum_runs"`
+	QuorumMismatches uint64 `json:"quorum_mismatches"`
+	ProbeFailures    uint64 `json:"probe_failures"`
+	JournalErrors    uint64 `json:"journal_errors"`
+
+	Backends map[string]service.BreakerStatus `json:"backends"`
+}
+
+// Snapshot captures every counter at one instant (per counter; the set
+// is not atomic across counters, which metrics scrapes never need).
+func (m *Metrics) Snapshot(backends map[string]service.BreakerStatus) MetricsSnapshot {
+	return MetricsSnapshot{
+		SweepsAccepted:   m.SweepsAccepted.Load(),
+		SweepsReplayed:   m.SweepsReplayed.Load(),
+		SweepsDone:       m.SweepsDone.Load(),
+		SweepsFailed:     m.SweepsFailed.Load(),
+		JobsDispatched:   m.JobsDispatched.Load(),
+		JobsRedispatched: m.JobsRedispatched.Load(),
+		JobsDone:         m.JobsDone.Load(),
+		JobsFailed:       m.JobsFailed.Load(),
+		Hedges:           m.Hedges.Load(),
+		HedgeWins:        m.HedgeWins.Load(),
+		QuorumRuns:       m.QuorumRuns.Load(),
+		QuorumMismatches: m.QuorumMismatches.Load(),
+		ProbeFailures:    m.ProbeFailures.Load(),
+		JournalErrors:    m.JournalErrors.Load(),
+		Backends:         backends,
+	}
+}

@@ -1,0 +1,119 @@
+// Package fleet shards simulation sweeps across a fleet of hpserved
+// backends: a coordinator expands a sweep specification into
+// (workload, scheme) jobs, routes each job to a backend with consistent
+// hashing (so a backend's single-flight result cache keeps deduplicating
+// repeat work), and aggregates the results into the same tables a
+// single-node run produces — byte for byte, because every backend's
+// simulation is deterministic.
+//
+// Robustness is the point: per-backend health feeds the same
+// sliding-window circuit breaker the server uses for admission control,
+// failed dispatches re-route to the next backend on the ring under the
+// service retry policy's decorrelated jitter, stragglers can be hedged
+// onto a second backend, a configurable sample of jobs is double-run on
+// two backends and cross-checked by stats digest (digest quorum), and
+// the coordinator journals sweep submissions and backend assignments
+// through the service write-ahead journal so a crashed coordinator
+// resumes its sweeps — re-dispatching preferentially to the journaled
+// (cache-warm) backends.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per backend. Enough to spread
+// keys evenly across small fleets without making Order scans expensive.
+const defaultVnodes = 64
+
+// Ring is a consistent-hash ring over backend addresses. Immutable
+// after construction; rebalancing is a new Ring.
+type Ring struct {
+	backends []string
+	hashes   []uint64          // sorted vnode positions
+	owner    map[uint64]string // vnode position → backend
+}
+
+// NewRing places each backend at vnodes positions on the ring.
+// Backends are deduplicated; vnodes <= 0 picks the default.
+func NewRing(backends []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{owner: map[uint64]string{}}
+	for _, b := range backends {
+		if b == "" || seen[b] {
+			continue
+		}
+		seen[b] = true
+		r.backends = append(r.backends, b)
+		for i := 0; i < vnodes; i++ {
+			h := hash64(fmt.Sprintf("%s#%d", b, i))
+			// A full 64-bit collision between distinct vnode labels is
+			// effectively impossible; first placement wins if it happens.
+			if _, taken := r.owner[h]; taken {
+				continue
+			}
+			r.owner[h] = b
+			r.hashes = append(r.hashes, h)
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+	return r
+}
+
+// Backends returns the distinct backends on the ring, insertion order.
+func (r *Ring) Backends() []string { return append([]string(nil), r.backends...) }
+
+// Owner returns the backend owning key (the first vnode at or after the
+// key's hash), or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	return r.owner[r.hashes[r.search(key)]]
+}
+
+// Order returns the key's preference list: every distinct backend in
+// ring order starting from the key's position. Failover and hedging
+// walk this list, so a key's work lands on a stable backend sequence —
+// retries hit caches the first choice's neighbours already warmed from
+// earlier sweeps.
+func (r *Ring) Order(key string) []string {
+	if len(r.hashes) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.backends))
+	seen := map[string]bool{}
+	start := r.search(key)
+	for i := 0; i < len(r.hashes) && len(out) < len(r.backends); i++ {
+		b := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first vnode at or after hash(key),
+// wrapping to 0 past the last.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		return 0
+	}
+	return i
+}
+
+// hash64 is FNV-64a — the same family the simulator's stats digests
+// use; no cryptographic strength needed, only spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never errors
+	return h.Sum64()
+}

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrder(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(backends, 0)
+
+	if got := len(r.Backends()); got != 3 {
+		t.Fatalf("backends %d, want 3", got)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("wl-%d/FDIP", i)
+		order := r.Order(key)
+		if len(order) != 3 {
+			t.Fatalf("Order(%q) = %v, want all 3 distinct backends", key, order)
+		}
+		seen := map[string]bool{}
+		for _, b := range order {
+			if seen[b] {
+				t.Fatalf("Order(%q) repeats %s", key, b)
+			}
+			seen[b] = true
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("Order(%q)[0] = %s, Owner = %s", key, order[0], r.Owner(key))
+		}
+	}
+}
+
+// TestRingDeterminism pins the routing function: two rings built from
+// the same inputs route every key identically — the property that
+// makes coordinator restarts and repeat sweeps land on warm caches.
+func TestRingDeterminism(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r1 := NewRing(backends, 32)
+	r2 := NewRing(backends, 32)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("gin/scheme-%d", i)
+		a, b := r1.Order(key), r2.Order(key)
+		if len(a) != len(b) {
+			t.Fatalf("order lengths differ for %q", key)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("ring is not deterministic for %q: %v vs %v", key, a, b)
+			}
+		}
+	}
+}
+
+// TestRingStability checks consistent hashing's reason to exist: losing
+// one backend must not reshuffle keys owned by the survivors.
+func TestRingStability(t *testing.T) {
+	full := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	reduced := NewRing([]string{"http://a:1", "http://b:1"}, 0)
+	moved := 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("wl-%d/Hier", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != "http://c:1" && before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d of %d surviving-backend keys moved when c left the ring", moved, n)
+	}
+}
+
+// TestRingSpread sanity-checks distribution: no backend owns an
+// outsized share of keys.
+func TestRingSpread(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(backends, 0)
+	counts := map[string]int{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for b, got := range counts {
+		if got < n/4/3 || got > n*3/4 {
+			t.Fatalf("backend %s owns %d of %d keys — spread collapsed: %v", b, got, n, counts)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if empty.Owner("k") != "" || empty.Order("k") != nil {
+		t.Fatal("empty ring must route nowhere")
+	}
+	dup := NewRing([]string{"http://a:1", "http://a:1", ""}, 0)
+	if got := len(dup.Backends()); got != 1 {
+		t.Fatalf("dedup kept %d backends, want 1", got)
+	}
+	single := NewRing([]string{"http://a:1"}, 0)
+	if single.Owner("anything") != "http://a:1" {
+		t.Fatal("single-backend ring must own every key")
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	w, s, err := SplitKey(JobKey("gin", "FDIP"))
+	if err != nil || w != "gin" || s != "FDIP" {
+		t.Fatalf("SplitKey round trip: %q %q %v", w, s, err)
+	}
+	for _, bad := range []string{"", "gin", "/FDIP", "gin/"} {
+		if _, _, err := SplitKey(bad); err == nil {
+			t.Fatalf("SplitKey(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hprefetch/internal/harness"
+	"hprefetch/internal/service"
+	"hprefetch/internal/workloads"
+)
+
+// SweepSpec names the cross product a sweep simulates: every workload ×
+// every scheme, one job per pair.
+type SweepSpec struct {
+	// Workloads to sweep (empty = all).
+	Workloads []string `json:"workloads,omitempty"`
+	// Schemes to sweep (empty = the figure-order scheme list).
+	Schemes []string `json:"schemes,omitempty"`
+	// Quick selects the scaled-down smoke configuration.
+	Quick bool `json:"quick,omitempty"`
+	// WarmInstr / MeasureInstr override run length (0 keeps defaults).
+	WarmInstr    uint64 `json:"warm_instr,omitempty"`
+	MeasureInstr uint64 `json:"measure_instr,omitempty"`
+}
+
+// withDefaults resolves the empty axes.
+func (sp SweepSpec) withDefaults() SweepSpec {
+	if len(sp.Workloads) == 0 {
+		sp.Workloads = workloads.Names()
+	}
+	if len(sp.Schemes) == 0 {
+		for _, sc := range harness.Schemes() {
+			sp.Schemes = append(sp.Schemes, string(sc))
+		}
+	}
+	return sp
+}
+
+// Validate rejects unknown workloads and schemes at submission, and
+// duplicate axis entries (a duplicated key would make "every job
+// exactly once" ambiguous).
+func (sp SweepSpec) Validate() error {
+	sp = sp.withDefaults()
+	seenW := map[string]bool{}
+	for _, w := range sp.Workloads {
+		if _, err := workloads.Get(w); err != nil {
+			return err
+		}
+		if seenW[w] {
+			return fmt.Errorf("duplicate workload %q in sweep", w)
+		}
+		seenW[w] = true
+	}
+	valid := map[string]bool{string(harness.SchemePerfect): true}
+	for _, sc := range harness.Schemes() {
+		valid[string(sc)] = true
+	}
+	seenS := map[string]bool{}
+	for _, sc := range sp.Schemes {
+		if !valid[sc] {
+			return fmt.Errorf("unknown scheme %q", sc)
+		}
+		if seenS[sc] {
+			return fmt.Errorf("duplicate scheme %q in sweep", sc)
+		}
+		seenS[sc] = true
+	}
+	return nil
+}
+
+// Keys expands the spec into its job keys, workload-major — the order
+// rows and columns appear in the aggregated table.
+func (sp SweepSpec) Keys() []string {
+	sp = sp.withDefaults()
+	out := make([]string, 0, len(sp.Workloads)*len(sp.Schemes))
+	for _, w := range sp.Workloads {
+		for _, sc := range sp.Schemes {
+			out = append(out, JobKey(w, sc))
+		}
+	}
+	return out
+}
+
+// JobKey names one (workload, scheme) job; the inverse is SplitKey.
+// The key doubles as the consistent-hash routing input, so the same
+// pair always prefers the same backend across sweeps and coordinator
+// lives.
+func JobKey(workload, scheme string) string { return workload + "/" + scheme }
+
+// SplitKey splits a job key back into its pair.
+func SplitKey(key string) (workload, scheme string, err error) {
+	i := strings.IndexByte(key, '/')
+	if i <= 0 || i == len(key)-1 {
+		return "", "", fmt.Errorf("malformed job key %q", key)
+	}
+	return key[:i], key[i+1:], nil
+}
+
+// runConfig resolves the spec into the harness configuration — the SAME
+// resolution hpserved performs for a RunRequest carrying these fields,
+// so a local run and a fleet run simulate identical machines.
+func (sp SweepSpec) runConfig() harness.RunConfig {
+	rc := harness.DefaultRunConfig()
+	if sp.Quick {
+		rc = harness.QuickRunConfig()
+		rc.Workloads = nil
+	}
+	if sp.WarmInstr > 0 {
+		rc.WarmInstr = sp.WarmInstr
+	}
+	if sp.MeasureInstr > 0 {
+		rc.MeasureInstr = sp.MeasureInstr
+	}
+	return rc
+}
+
+// jobRequest is the RunRequest a backend receives for one job of this
+// sweep.
+func (sp SweepSpec) jobRequest(workload, scheme string) service.RunRequest {
+	return service.RunRequest{
+		Workload:     workload,
+		Scheme:       scheme,
+		Quick:        sp.Quick,
+		WarmInstr:    sp.WarmInstr,
+		MeasureInstr: sp.MeasureInstr,
+	}
+}
+
+// specRequest is the journal form of the whole sweep (Kind "sweep").
+func (sp SweepSpec) specRequest() service.RunRequest {
+	return service.RunRequest{
+		Workloads:    sp.Workloads,
+		Schemes:      sp.Schemes,
+		Quick:        sp.Quick,
+		WarmInstr:    sp.WarmInstr,
+		MeasureInstr: sp.MeasureInstr,
+	}
+}
+
+// specFromRequest inverts specRequest for journal replay.
+func specFromRequest(req service.RunRequest) SweepSpec {
+	return SweepSpec{
+		Workloads:    req.Workloads,
+		Schemes:      req.Schemes,
+		Quick:        req.Quick,
+		WarmInstr:    req.WarmInstr,
+		MeasureInstr: req.MeasureInstr,
+	}
+}
+
+// RunLocal executes the whole sweep in-process through the shared
+// harness Runner — the single-node reference a fleet run must match
+// byte for byte. Used by hpsim -sweep and by tests cross-checking
+// coordinator output.
+func RunLocal(ctx context.Context, sp SweepSpec) (*harness.Table, error) {
+	sp = sp.withDefaults()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	rc := sp.runConfig()
+	results := map[string]*service.RunResult{}
+	for _, w := range sp.Workloads {
+		for _, sc := range sp.Schemes {
+			res, err := service.ComputeRunResult(ctx, w, sc, rc)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", JobKey(w, sc), err)
+			}
+			results[JobKey(w, sc)] = res
+		}
+	}
+	return SweepTable(sp, results)
+}
+
+// SweepTable aggregates per-job results into the sweep's table: one row
+// per workload, one IPC column per scheme, and a note per job recording
+// its stats digest — so byte-comparing two renderings compares every
+// digest too. Formatting is fixed here and nowhere else; a table built
+// from local results and one built from fleet-returned results are
+// byte-identical whenever the underlying runs were (JSON round-trips
+// float64 exactly).
+func SweepTable(sp SweepSpec, results map[string]*service.RunResult) (*harness.Table, error) {
+	sp = sp.withDefaults()
+	t := &harness.Table{
+		ID:     "sweep",
+		Title:  "Sweep: IPC by workload and scheme",
+		Header: append([]string{"Workload"}, sp.Schemes...),
+	}
+	for _, w := range sp.Workloads {
+		row := []string{w}
+		for _, sc := range sp.Schemes {
+			key := JobKey(w, sc)
+			res, ok := results[key]
+			if !ok || res == nil {
+				return nil, fmt.Errorf("sweep table: missing result for %s", key)
+			}
+			row = append(row, fmt.Sprintf("%.4f", res.IPC))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Notes = append(t.Notes, fmt.Sprintf("digest %s = %s", k, results[k].StatsDigest))
+	}
+	return t, nil
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"hprefetch/internal/harness"
+	"hprefetch/internal/service"
+)
+
+// Sweep is one admitted sweep and its eventual aggregated table. All
+// mutable state is guarded by mu; done closes exactly once when the
+// sweep settles.
+type Sweep struct {
+	ID   string
+	Spec SweepSpec
+
+	mu          sync.Mutex
+	jobs        map[string]*sweepJob
+	keys        []string
+	state       service.JobState
+	errMsg      string
+	table       *harness.Table
+	tableText   string
+	tableDigest string
+	submitted   time.Time
+	finished    time.Time
+	// replayAssign is the journaled key → backend map for recovered
+	// sweeps (read-only after construction).
+	replayAssign map[string]string
+
+	done chan struct{}
+}
+
+// sweepJob is one (workload, scheme) unit of a sweep.
+type sweepJob struct {
+	key      string
+	workload string
+	scheme   string
+
+	state         service.JobState
+	backend       string
+	attempts      int
+	hedged        bool
+	hedgeBackend  string
+	quorum        bool
+	quorumBackend string
+	err           string
+	result        *service.RunResult
+}
+
+// Done returns a channel closed when the sweep settles.
+func (sw *Sweep) Done() <-chan struct{} { return sw.done }
+
+// Table returns the aggregated table, or nil while running/failed.
+func (sw *Sweep) Table() *harness.Table {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.table
+}
+
+// noteAttempt records a dispatch attempt and its chosen backend.
+func (sw *Sweep) noteAttempt(jb *sweepJob, backend string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	jb.attempts++
+	jb.backend = backend
+}
+
+// noteHedge records the hedge arm's backend.
+func (sw *Sweep) noteHedge(jb *sweepJob, backend string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	jb.hedged = true
+	jb.hedgeBackend = backend
+}
+
+// noteQuorum records the quorum verification backend.
+func (sw *Sweep) noteQuorum(jb *sweepJob, backend string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	jb.quorum = true
+	jb.quorumBackend = backend
+}
+
+// completeJob lands a job's result (partial results are visible through
+// View immediately, before the sweep settles).
+func (sw *Sweep) completeJob(jb *sweepJob, backend string, res *service.RunResult) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	jb.state = service.JobDone
+	jb.backend = backend
+	jb.result = res
+	jb.err = ""
+}
+
+// failJob marks a job terminally failed.
+func (sw *Sweep) failJob(jb *sweepJob, msg string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	jb.state = service.JobFailed
+	jb.err = msg
+}
+
+// JobStatus is the JSON projection of one sweep job. Result fields
+// appear as soon as the job lands, streaming partial sweep results to
+// pollers.
+type JobStatus struct {
+	Key      string           `json:"key"`
+	State    service.JobState `json:"state"`
+	Backend  string           `json:"backend,omitempty"`
+	Attempts int              `json:"attempts,omitempty"`
+	Hedged   bool             `json:"hedged,omitempty"`
+	Quorum   bool             `json:"quorum,omitempty"`
+	IPC      float64          `json:"ipc,omitempty"`
+	Digest   string           `json:"digest,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// SweepView is the JSON projection of a Sweep (GET /v1/sweeps/{id}).
+type SweepView struct {
+	ID          string           `json:"id"`
+	State       service.JobState `json:"state"`
+	Spec        SweepSpec        `json:"spec"`
+	Jobs        []JobStatus      `json:"jobs"`
+	Done        int              `json:"done"`
+	Total       int              `json:"total"`
+	Table       string           `json:"table,omitempty"`
+	TableDigest string           `json:"table_digest,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Submitted   time.Time        `json:"submitted"`
+	Finished    *time.Time       `json:"finished,omitempty"`
+}
+
+// View snapshots the sweep for serialisation.
+func (sw *Sweep) View() SweepView {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	v := SweepView{
+		ID:          sw.ID,
+		State:       sw.state,
+		Spec:        sw.Spec,
+		Total:       len(sw.keys),
+		Table:       sw.tableText,
+		TableDigest: sw.tableDigest,
+		Error:       sw.errMsg,
+		Submitted:   sw.submitted,
+	}
+	if !sw.finished.IsZero() {
+		t := sw.finished
+		v.Finished = &t
+	}
+	for _, key := range sw.keys {
+		jb := sw.jobs[key]
+		js := JobStatus{
+			Key:      jb.key,
+			State:    jb.state,
+			Backend:  jb.backend,
+			Attempts: jb.attempts,
+			Hedged:   jb.hedged,
+			Quorum:   jb.quorum,
+			Error:    jb.err,
+		}
+		if jb.result != nil {
+			js.IPC = jb.result.IPC
+			js.Digest = jb.result.StatsDigest
+			v.Done++
+		}
+		v.Jobs = append(v.Jobs, js)
+	}
+	return v
+}

@@ -5,14 +5,20 @@ import (
 	"time"
 )
 
-// The admission circuit breaker. It watches terminal job outcomes over
-// a sliding window; when the worker pool's failure rate crosses the
-// threshold, the breaker opens and submissions bounce with 503 +
-// Retry-After instead of joining a queue that is only producing
-// failures. After a cooldown the breaker half-opens: submissions are
-// admitted again and the first terminal outcome decides — success
-// closes the breaker, failure re-opens it for another cooldown.
-// Cancellations are neutral and recorded nowhere.
+// The admission circuit breaker. It watches terminal outcomes over a
+// sliding window; when the failure rate crosses the threshold, the
+// breaker opens and admissions bounce with 503 + Retry-After instead of
+// joining a queue that is only producing failures. After a cooldown the
+// breaker half-opens: exactly ONE probe admission is let through and its
+// terminal outcome decides — success closes the breaker, failure
+// re-opens it for another full cooldown. Concurrent submissions racing
+// the probe are still rejected until the probe resolves (or a whole
+// cooldown elapses without it resolving — a cancelled probe must not
+// wedge the breaker shut forever). Cancellations are neutral and
+// recorded nowhere.
+//
+// The same type guards the fleet coordinator's per-backend health: probe
+// results and dispatch outcomes feed Record, and Allow gates routing.
 
 type breakerState int
 
@@ -40,7 +46,9 @@ type BreakerStatus struct {
 	Opens uint64 `json:"opens"`
 }
 
-type breaker struct {
+// Breaker is a sliding-window failure-rate circuit breaker. Create with
+// NewBreaker; safe for concurrent use.
+type Breaker struct {
 	mu         sync.Mutex
 	window     []bool // ring buffer of outcomes; true = failure
 	idx, n     int
@@ -50,12 +58,20 @@ type breaker struct {
 	cooldown   time.Duration
 	state      breakerState
 	openedAt   time.Time
-	opens      uint64
-	now        func() time.Time // test seam
+	// probeAt is when the half-open probe slot was claimed; while a probe
+	// is outstanding (and younger than one cooldown) no second admission
+	// passes.
+	probeAt       time.Time
+	probeInFlight bool
+	opens         uint64
+	now           func() time.Time // test seam
 }
 
-func newBreaker(window, minSamples int, threshold float64, cooldown time.Duration) *breaker {
-	return &breaker{
+// NewBreaker builds a breaker over a window of the given size that opens
+// once at least minSamples outcomes are recorded and the failure rate
+// reaches threshold, and half-opens after cooldown.
+func NewBreaker(window, minSamples int, threshold float64, cooldown time.Duration) *Breaker {
+	return &Breaker{
 		window:     make([]bool, window),
 		minSamples: minSamples,
 		threshold:  threshold,
@@ -64,23 +80,40 @@ func newBreaker(window, minSamples int, threshold float64, cooldown time.Duratio
 	}
 }
 
-// allow reports whether a submission may be admitted; when it may not,
-// it also returns how long the client should wait before retrying.
-func (b *breaker) allow() (bool, time.Duration) {
+// Allow reports whether an admission may proceed; when it may not, it
+// also returns how long the caller should wait before retrying. In the
+// half-open state exactly one caller wins the probe slot; everyone else
+// keeps being shed until the probe's outcome is recorded.
+func (b *Breaker) Allow() (bool, time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state != breakerOpen {
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if remaining := b.cooldown - b.now().Sub(b.openedAt); remaining > 0 {
+			return false, remaining
+		}
+		// Cooldown elapsed: this caller becomes the half-open probe.
+		b.state = breakerHalfOpen
+		b.probeInFlight = true
+		b.probeAt = b.now()
+		return true, 0
+	default: // breakerHalfOpen
+		if b.probeInFlight && b.now().Sub(b.probeAt) < b.cooldown {
+			// A probe is outstanding; shed until it resolves.
+			return false, b.cooldown - b.now().Sub(b.probeAt)
+		}
+		// The previous probe never reported (cancelled, lost): let a new
+		// one through rather than staying wedged.
+		b.probeInFlight = true
+		b.probeAt = b.now()
 		return true, 0
 	}
-	if remaining := b.cooldown - b.now().Sub(b.openedAt); remaining > 0 {
-		return false, remaining
-	}
-	b.state = breakerHalfOpen
-	return true, 0
 }
 
-// record feeds one terminal job outcome into the window.
-func (b *breaker) record(failure bool) {
+// Record feeds one terminal outcome into the window.
+func (b *Breaker) Record(failure bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -88,6 +121,7 @@ func (b *breaker) record(failure bool) {
 		// Stragglers from admissions before the trip; ignore.
 		return
 	case breakerHalfOpen:
+		b.probeInFlight = false
 		if failure {
 			b.trip()
 		} else {
@@ -114,7 +148,7 @@ func (b *breaker) record(failure bool) {
 }
 
 // trip opens the breaker (caller holds b.mu).
-func (b *breaker) trip() {
+func (b *Breaker) trip() {
 	b.state = breakerOpen
 	b.openedAt = b.now()
 	b.opens++
@@ -122,18 +156,19 @@ func (b *breaker) trip() {
 }
 
 // reset clears the outcome window (caller holds b.mu).
-func (b *breaker) reset() {
+func (b *Breaker) reset() {
 	for i := range b.window {
 		b.window[i] = false
 	}
 	b.idx, b.n, b.fails = 0, 0, 0
 }
 
-func (b *breaker) status() BreakerStatus {
+// Status snapshots the breaker for metrics endpoints.
+func (b *Breaker) Status() BreakerStatus {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	// Surface an elapsed cooldown as half-open: that is what the next
-	// allow() will decide.
+	// Allow() will decide.
 	st := b.state
 	if st == breakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
 		st = breakerHalfOpen

@@ -58,6 +58,10 @@ type RunRequest struct {
 	// <workload>.hpt files for experiments (workloads without a trace
 	// run live). Validated at submission; incompatible with Fault.
 	TracePath string `json:"trace_path,omitempty"`
+	// Schemes is the scheme axis of a fleet sweep (coordinator jobs
+	// only). Plain run/experiment submissions must leave it empty — a
+	// single hpserved names one scheme via Scheme.
+	Schemes []string `json:"schemes,omitempty"`
 }
 
 // RunResult summarises a completed simulation for the API.
@@ -156,12 +160,12 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:        j.ID,
-		Kind:      j.Kind,
-		State:     j.state,
-		Request:   j.Req,
-		Error:     j.err,
-		Result:    j.run,
+		ID:         j.ID,
+		Kind:       j.Kind,
+		State:      j.state,
+		Request:    j.Req,
+		Error:      j.err,
+		Result:     j.run,
 		Table:      j.table,
 		Submitted:  j.submitted,
 		Attempts:   j.attempts,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -39,10 +40,13 @@ import (
 const journalMagic = 0x4850_4A4C_0001_0001
 
 // journalVersion is the current journal format version. v2 added
-// RunRequest.TracePath to submit records; decoding is exact-consumption,
-// so v1 journals are rejected at startup rather than misread (operators
-// drain or delete the old journal before upgrading).
-const journalVersion = 2
+// RunRequest.TracePath to submit records; v3 added RunRequest.Schemes
+// (fleet sweep jobs) and the opAssign backend-assignment record.
+// Decoding is exact-consumption, so journals from other versions are
+// rejected at startup — with an error naming both versions and the
+// remediation — rather than misread (operators drain or delete the old
+// journal before upgrading).
+const journalVersion = 3
 
 const journalHeaderSize = 10
 
@@ -60,6 +64,11 @@ const (
 	// opSeq preserves the high-water job sequence number across
 	// compaction, so restarted servers never reissue an id.
 	opSeq journalOp = 4
+	// opAssign records a backend assignment made by a fleet coordinator:
+	// the sub-job Key of job ID was dispatched to Backend. Replay uses
+	// the last assignment per key to prefer the same (cache-warm)
+	// backend. Plain hpserved jobs never write these.
+	opAssign journalOp = 5
 )
 
 // journalRecord is the decoded form of one journal entry. Only the
@@ -82,6 +91,10 @@ type journalRecord struct {
 
 	// opSeq
 	Seq uint64
+
+	// opAssign
+	Key     string
+	Backend string
 }
 
 // jwriter serialises with little-endian fixed-width fields
@@ -226,6 +239,10 @@ func encodeJournalPayload(rec journalRecord) ([]byte, error) {
 		w.i64(q.TimeoutMS)
 		w.i64(int64(q.MaxRetries))
 		w.str(q.TracePath)
+		w.u32(uint32(len(q.Schemes)))
+		for _, sc := range q.Schemes {
+			w.str(sc)
+		}
 	case opStart:
 		w.u32(rec.Attempt)
 	case opFinish:
@@ -238,6 +255,9 @@ func encodeJournalPayload(rec journalRecord) ([]byte, error) {
 		w.str(rec.Digest)
 	case opSeq:
 		w.u64(rec.Seq)
+	case opAssign:
+		w.str(rec.Key)
+		w.str(rec.Backend)
 	default:
 		return nil, fmt.Errorf("journal: unknown op %d", rec.Op)
 	}
@@ -271,6 +291,13 @@ func decodeJournalPayload(payload []byte) (journalRecord, error) {
 		q.TimeoutMS = r.i64()
 		q.MaxRetries = int(r.i64())
 		q.TracePath = r.str()
+		ns := r.count(4)
+		if ns > 0 {
+			q.Schemes = make([]string, 0, ns)
+			for i := 0; i < ns && r.err == nil; i++ {
+				q.Schemes = append(q.Schemes, r.str())
+			}
+		}
 	case opStart:
 		rec.Attempt = r.u32()
 	case opFinish:
@@ -283,6 +310,9 @@ func decodeJournalPayload(payload []byte) (journalRecord, error) {
 		rec.Digest = r.str()
 	case opSeq:
 		rec.Seq = r.u64()
+	case opAssign:
+		rec.Key = r.str()
+		rec.Backend = r.str()
 	default:
 		return rec, fmt.Errorf("journal: unknown op %d", rec.Op)
 	}
@@ -313,21 +343,34 @@ func journalHeader() []byte {
 
 // errJournalHeader marks a journal whose header identifies a different
 // file format entirely — startup refuses to touch it.
-var errJournalHeader = errors.New("journal: bad magic or version (not a job journal?)")
+var errJournalHeader = errors.New("journal: bad magic (not a job journal?)")
+
+// versionError explains a journal written by a different format version:
+// it names the version found, the version this build writes, and the
+// remediation, so the operator is not left staring at a bare decode
+// failure.
+func versionError(found uint16) error {
+	return fmt.Errorf("journal: format v%d found, this build reads/writes v%d; "+
+		"finish or cancel its pending jobs with the matching build, or delete the journal file, before upgrading",
+		found, journalVersion)
+}
 
 // decodeJournal parses a journal image. It returns every record in the
 // longest valid prefix plus the number of bytes that prefix occupies;
 // corruption past the header stops the scan without erroring (the tail
 // is a torn write, the prefix is the journal). Only an unrecognisable
-// header is an error. Inputs shorter than a header decode as an empty
-// journal — a crash during creation must not brick the next start.
+// header or a version mismatch is an error. Inputs shorter than a header
+// decode as an empty journal — a crash during creation must not brick
+// the next start.
 func decodeJournal(data []byte) ([]journalRecord, int, error) {
 	if len(data) < journalHeaderSize {
 		return nil, 0, nil
 	}
-	if binary.LittleEndian.Uint64(data) != journalMagic ||
-		binary.LittleEndian.Uint16(data[8:]) != journalVersion {
+	if binary.LittleEndian.Uint64(data) != journalMagic {
 		return nil, 0, errJournalHeader
+	}
+	if v := binary.LittleEndian.Uint16(data[8:]); v != journalVersion {
+		return nil, 0, versionError(v)
 	}
 	var recs []journalRecord
 	off := journalHeaderSize
@@ -354,35 +397,45 @@ func decodeJournal(data []byte) ([]journalRecord, int, error) {
 	return recs, off, nil
 }
 
-// replayJob is one journaled job that never reached a terminal state and
-// must be re-admitted on startup.
-type replayJob struct {
+// ReplayJob is one journaled job that never reached a terminal state and
+// must be re-admitted on startup (by hpserved's worker pool, or by a
+// fleet coordinator re-running a sweep).
+type ReplayJob struct {
 	ID   string
 	Kind string
 	Req  RunRequest
 	// Attempts is the highest attempt number journaled; >0 means the job
 	// was in flight (orphaned) when the process died.
 	Attempts int
+	// Assignments maps sub-job keys to the backend each was last
+	// dispatched to (fleet coordinator jobs only; nil otherwise). A
+	// recovering coordinator prefers the journaled backend so re-run
+	// work lands on caches the lost life already warmed.
+	Assignments map[string]string
 }
 
 // pendingFromRecords folds a record sequence into the pending-job set
 // and the high-water job sequence number. The fold is order-independent
 // per job id (a finish anywhere marks the id terminal), which makes
 // replay robust to batches landing out of submit order.
-func pendingFromRecords(recs []journalRecord) ([]replayJob, uint64) {
+func pendingFromRecords(recs []journalRecord) ([]ReplayJob, uint64) {
 	type slot struct {
-		job  replayJob
+		job  ReplayJob
 		seen bool
 	}
 	byID := map[string]*slot{}
 	var order []string
 	terminal := map[string]bool{}
 	attempts := map[string]int{}
+	assigns := map[string]map[string]string{}
 	var maxSeq uint64
 
 	noteSeq := func(id string) {
 		var n uint64
 		if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+		if _, err := fmt.Sscanf(id, "swp-%d", &n); err == nil && n > maxSeq {
 			maxSeq = n
 		}
 	}
@@ -393,7 +446,7 @@ func pendingFromRecords(recs []journalRecord) ([]replayJob, uint64) {
 			if s, ok := byID[rec.ID]; ok && s.seen {
 				continue // duplicate submit: keep the first
 			}
-			byID[rec.ID] = &slot{job: replayJob{ID: rec.ID, Kind: rec.Kind, Req: rec.Req}, seen: true}
+			byID[rec.ID] = &slot{job: ReplayJob{ID: rec.ID, Kind: rec.Kind, Req: rec.Req}, seen: true}
 			order = append(order, rec.ID)
 		case opStart:
 			noteSeq(rec.ID)
@@ -407,15 +460,21 @@ func pendingFromRecords(recs []journalRecord) ([]replayJob, uint64) {
 			if rec.Seq > maxSeq {
 				maxSeq = rec.Seq
 			}
+		case opAssign:
+			if assigns[rec.ID] == nil {
+				assigns[rec.ID] = map[string]string{}
+			}
+			assigns[rec.ID][rec.Key] = rec.Backend // last assignment wins
 		}
 	}
-	var pending []replayJob
+	var pending []ReplayJob
 	for _, id := range order {
 		if terminal[id] {
 			continue
 		}
 		j := byID[id].job
 		j.Attempts = attempts[id]
+		j.Assignments = assigns[id]
 		pending = append(pending, j)
 	}
 	return pending, maxSeq
@@ -443,12 +502,12 @@ type Journal struct {
 // journal's size is bounded by the live job set rather than by history.
 // It returns the open journal, the jobs to re-admit (submit order), and
 // the highest job sequence number ever issued against this journal.
-func OpenJournal(path string) (*Journal, []replayJob, uint64, error) {
+func OpenJournal(path string) (*Journal, []ReplayJob, uint64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, 0, fmt.Errorf("journal: read %s: %w", path, err)
 	}
-	var pending []replayJob
+	var pending []ReplayJob
 	var maxSeq uint64
 	if len(data) > 0 {
 		recs, _, derr := decodeJournal(data)
@@ -473,6 +532,19 @@ func OpenJournal(path string) (*Journal, []replayJob, uint64, error) {
 		buf = append(buf, frameRecord(payload)...)
 		if rj.Attempts > 0 {
 			payload, err := encodeJournalPayload(journalRecord{Op: opStart, ID: rj.ID, Attempt: uint32(rj.Attempts)})
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			buf = append(buf, frameRecord(payload)...)
+		}
+		// Assignments survive compaction (sorted for a canonical file).
+		keys := make([]string, 0, len(rj.Assignments))
+		for k := range rj.Assignments {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			payload, err := encodeJournalPayload(journalRecord{Op: opAssign, ID: rj.ID, Key: k, Backend: rj.Assignments[k]})
 			if err != nil {
 				return nil, nil, 0, err
 			}
@@ -574,6 +646,32 @@ func (jl *Journal) flusher() {
 		jl.mu.Unlock()
 		close(round)
 	}
+}
+
+// The exported Append helpers let other packages (the fleet coordinator)
+// drive the same write-ahead log the server uses, without exposing the
+// wire-level record type.
+
+// AppendSubmit journals an admitted job and its full request.
+func (jl *Journal) AppendSubmit(id, kind string, req RunRequest) error {
+	return jl.Append(journalRecord{Op: opSubmit, ID: id, Kind: kind, Req: req})
+}
+
+// AppendStart journals one execution attempt beginning (1-based).
+func (jl *Journal) AppendStart(id string, attempt int) error {
+	return jl.Append(journalRecord{Op: opStart, ID: id, Attempt: uint32(attempt)})
+}
+
+// AppendAssign journals a backend assignment: sub-job key of job id was
+// dispatched to backend. Recovery replays the last assignment per key.
+func (jl *Journal) AppendAssign(id, key, backend string) error {
+	return jl.Append(journalRecord{Op: opAssign, ID: id, Key: key, Backend: backend})
+}
+
+// AppendFinish journals a terminal transition (state must be terminal);
+// digest carries the result fingerprint for completed work.
+func (jl *Journal) AppendFinish(id string, state JobState, errMsg, digest string) error {
+	return jl.Append(journalRecord{Op: opFinish, ID: id, State: state, ErrMsg: errMsg, Digest: digest})
 }
 
 // Close drains pending appends, fsyncs, and closes the file. Safe to

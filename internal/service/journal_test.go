@@ -3,8 +3,10 @@ package service
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -18,12 +20,14 @@ func sampleRecords() []journalRecord {
 			WarmInstr: 1000, MeasureInstr: 2000,
 			Quick: true, Fault: "tag-flip:0.001:7", TimeoutMS: 5000, MaxRetries: 3,
 			TracePath: "/var/traces/gin.hpt",
+			Schemes:   []string{"FDIP", "Hierarchical"},
 		}},
 		{Op: opStart, ID: "job-000042", Attempt: 1},
 		{Op: opSubmit, ID: "job-000043", Kind: "experiment", Req: RunRequest{
 			Experiment: "fig9", Workloads: []string{"gin", "etcd"},
 		}},
 		{Op: opStart, ID: "job-000042", Attempt: 2},
+		{Op: opAssign, ID: "job-000043", Key: "gin/FDIP", Backend: "http://127.0.0.1:19001"},
 		{Op: opFinish, ID: "job-000042", State: JobDone, Digest: "fnv1a64:dead"},
 		{Op: opFinish, ID: "job-000043", State: JobFailed, ErrMsg: "boom"},
 	}
@@ -58,7 +62,8 @@ func TestJournalRecordRoundTrip(t *testing.T) {
 	for i := range recs {
 		a, b := recs[i], got[i]
 		if a.Op != b.Op || a.ID != b.ID || a.Kind != b.Kind || a.Attempt != b.Attempt ||
-			a.State != b.State || a.ErrMsg != b.ErrMsg || a.Digest != b.Digest || a.Seq != b.Seq {
+			a.State != b.State || a.ErrMsg != b.ErrMsg || a.Digest != b.Digest || a.Seq != b.Seq ||
+			a.Key != b.Key || a.Backend != b.Backend {
 			t.Fatalf("record %d: %+v != %+v", i, a, b)
 		}
 		if a.Op == opSubmit {
@@ -125,6 +130,42 @@ func TestJournalTornTail(t *testing.T) {
 	}
 }
 
+// TestJournalVersionMismatch pins the upgrade failure mode: a journal
+// written by another format version is rejected at startup with an
+// error naming the version found, the version this build speaks, and
+// the remediation — not a bare decode failure.
+func TestJournalVersionMismatch(t *testing.T) {
+	data := journalHeader()
+	binary.LittleEndian.PutUint16(data[8:], journalVersion-1)
+	_, _, err := decodeJournal(data)
+	if err == nil {
+		t.Fatal("old-version journal accepted")
+	}
+	for _, want := range []string{
+		fmt.Sprintf("format v%d found", journalVersion-1),
+		fmt.Sprintf("reads/writes v%d", journalVersion),
+		"delete the journal file",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("version error %q missing %q", err, want)
+		}
+	}
+	// The on-disk startup path surfaces the same story.
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "format v") {
+		t.Fatalf("OpenJournal on old-version journal: %v", err)
+	}
+	// Bad magic stays its own, distinct error.
+	bad := journalHeader()
+	bad[0] ^= 0xFF
+	if _, _, err := decodeJournal(bad); err == nil || strings.Contains(err.Error(), "format v") {
+		t.Fatalf("bad magic error: %v", err)
+	}
+}
+
 func TestPendingFromRecords(t *testing.T) {
 	pending, maxSeq := pendingFromRecords(sampleRecords())
 	if len(pending) != 0 {
@@ -134,8 +175,9 @@ func TestPendingFromRecords(t *testing.T) {
 		t.Fatalf("maxSeq %d, want 43", maxSeq)
 	}
 
-	// Drop the finish records: both jobs replay, with attempts preserved.
-	recs := sampleRecords()[:5]
+	// Drop the finish records: both jobs replay, with attempts and
+	// backend assignments preserved.
+	recs := sampleRecords()[:6]
 	pending, maxSeq = pendingFromRecords(recs)
 	if len(pending) != 2 || maxSeq != 43 {
 		t.Fatalf("pending %+v maxSeq %d", pending, maxSeq)
@@ -145,6 +187,12 @@ func TestPendingFromRecords(t *testing.T) {
 	}
 	if pending[1].ID != "job-000043" || pending[1].Attempts != 0 {
 		t.Fatalf("queued job %+v, want attempts 0", pending[1])
+	}
+	if got := pending[1].Assignments["gin/FDIP"]; got != "http://127.0.0.1:19001" {
+		t.Fatalf("assignment not folded into replay: %+v", pending[1].Assignments)
+	}
+	if pending[0].Assignments != nil {
+		t.Fatalf("job without assign records grew assignments: %+v", pending[0].Assignments)
 	}
 
 	// Order independence: a finish before its submit still terminates.
@@ -171,7 +219,7 @@ func TestJournalAppendReplayCompact(t *testing.T) {
 	if len(pending) != 0 || maxSeq != 0 {
 		t.Fatalf("fresh journal: pending %+v maxSeq %d", pending, maxSeq)
 	}
-	for _, rec := range sampleRecords()[:5] { // two submits, no finishes
+	for _, rec := range sampleRecords()[:6] { // two submits + an assign, no finishes
 		if err := jl.Append(rec); err != nil {
 			t.Fatal(err)
 		}
@@ -186,6 +234,9 @@ func TestJournalAppendReplayCompact(t *testing.T) {
 	}
 	if len(pending) != 2 || maxSeq != 43 {
 		t.Fatalf("reopen: pending %+v maxSeq %d", pending, maxSeq)
+	}
+	if got := pending[1].Assignments["gin/FDIP"]; got != "http://127.0.0.1:19001" {
+		t.Fatalf("assignment lost across reopen+compaction: %+v", pending[1].Assignments)
 	}
 	// Finish both; the next open must compact to an empty pending set
 	// while preserving the sequence high-water mark.

@@ -42,11 +42,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// nextDelay computes the backoff before the next attempt given the
-// previous one (zero for the first retry): decorrelated jitter — a
-// uniform draw from [base, 3·prev], capped — which spreads retry storms
-// without the synchronisation full exponential ladders suffer.
-func (p RetryPolicy) nextDelay(rng *xrand.RNG, prev time.Duration) time.Duration {
+// Next computes the backoff before the next attempt given the previous
+// one (zero for the first retry): decorrelated jitter — a uniform draw
+// from [base, 3·prev], capped — which spreads retry storms without the
+// synchronisation full exponential ladders suffer. Exported because the
+// fleet coordinator re-dispatches failed work under the same policy.
+func (p RetryPolicy) Next(rng *xrand.RNG, prev time.Duration) time.Duration {
 	lo := int64(p.BaseDelay)
 	hi := 3 * int64(prev)
 	if hi <= lo {

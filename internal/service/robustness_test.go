@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -85,52 +87,135 @@ func TestWorkerKillRecovery(t *testing.T) {
 // clock.
 func TestBreakerUnit(t *testing.T) {
 	now := time.Unix(0, 0)
-	b := newBreaker(8, 4, 0.5, 10*time.Second)
+	b := NewBreaker(8, 4, 0.5, 10*time.Second)
 	b.now = func() time.Time { return now }
 
-	if ok, _ := b.allow(); !ok {
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("fresh breaker not closed")
 	}
 	// 3 failures of 4 samples ≥ 50% → open.
-	b.record(true)
-	b.record(false)
-	b.record(true)
-	if b.status().State != "closed" {
-		t.Fatalf("breaker opened below minSamples: %+v", b.status())
+	b.Record(true)
+	b.Record(false)
+	b.Record(true)
+	if b.Status().State != "closed" {
+		t.Fatalf("breaker opened below minSamples: %+v", b.Status())
 	}
-	b.record(true)
-	if st := b.status(); st.State != "open" || st.Opens != 1 {
+	b.Record(true)
+	if st := b.Status(); st.State != "open" || st.Opens != 1 {
 		t.Fatalf("breaker state %+v, want open/1", st)
 	}
-	if ok, wait := b.allow(); ok || wait != 10*time.Second {
+	if ok, wait := b.Allow(); ok || wait != 10*time.Second {
 		t.Fatalf("open breaker admitted (wait %v)", wait)
 	}
 	// Stragglers during open are ignored.
-	b.record(true)
+	b.Record(true)
 	// Cooldown elapses → half-open probe; failure re-opens.
 	now = now.Add(11 * time.Second)
-	if ok, _ := b.allow(); !ok {
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("breaker not half-open after cooldown")
 	}
-	b.record(true)
-	if st := b.status(); st.State != "open" || st.Opens != 2 {
+	b.Record(true)
+	if st := b.Status(); st.State != "open" || st.Opens != 2 {
 		t.Fatalf("half-open failure: %+v, want open/2", st)
 	}
 	// Second probe succeeds → closed, window reset.
 	now = now.Add(11 * time.Second)
-	if ok, _ := b.allow(); !ok {
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("breaker not half-open after second cooldown")
 	}
-	b.record(false)
-	if st := b.status(); st.State != "closed" {
+	b.Record(false)
+	if st := b.Status(); st.State != "closed" {
 		t.Fatalf("half-open success: %+v, want closed", st)
 	}
 	// The window restarted: three fresh failures are below minSamples.
-	b.record(true)
-	b.record(true)
-	b.record(true)
-	if b.status().State != "closed" {
+	b.Record(true)
+	b.Record(true)
+	b.Record(true)
+	if b.Status().State != "closed" {
 		t.Fatal("window not reset after close")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe hammers the half-open probe slot from
+// concurrent submissions: exactly one Allow wins the probe, everyone
+// else keeps being shed until the probe resolves, a failed probe
+// re-opens the breaker for a FULL new cooldown, and a probe that never
+// reports (cancelled mid-flight) stops wedging the breaker after one
+// cooldown.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	b := NewBreaker(8, 4, 0.5, 10*time.Second)
+	b.now = clock
+	trip := func() {
+		for i := 0; i < 4; i++ {
+			b.Record(true)
+		}
+		if st := b.Status(); st.State != "open" {
+			t.Fatalf("breaker %s after 4/4 failures, want open", st.State)
+		}
+	}
+	trip()
+	advance(10 * time.Second) // cooldown elapsed: the next Allow is the probe
+
+	const goroutines = 32
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if ok, _ := b.Allow(); ok {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent submissions, want exactly 1 probe", got)
+	}
+	// While the probe is outstanding every further Allow is shed.
+	if ok, wait := b.Allow(); ok || wait <= 0 {
+		t.Fatalf("second probe admitted while first outstanding (ok=%v wait=%v)", ok, wait)
+	}
+	// The probe fails: re-open for a FULL cooldown, not the remainder of
+	// the old one.
+	advance(3 * time.Second)
+	b.Record(true)
+	if st := b.Status(); st.State != "open" || st.Opens != 2 {
+		t.Fatalf("failed probe left breaker %+v, want open/2", st)
+	}
+	if ok, wait := b.Allow(); ok || wait != 10*time.Second {
+		t.Fatalf("re-opened breaker: ok=%v wait=%v, want a full 10s cooldown", ok, wait)
+	}
+	advance(9 * time.Second)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("breaker admitted before the new cooldown elapsed")
+	}
+	advance(2 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("breaker did not re-probe after the new cooldown")
+	}
+	b.Record(false)
+	if st := b.Status(); st.State != "closed" {
+		t.Fatalf("successful probe left breaker %s, want closed", st.State)
+	}
+	// A probe that never reports must not wedge the breaker shut: after a
+	// whole further cooldown a new probe is admitted.
+	trip()
+	advance(10 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	advance(10 * time.Second) // the probe was cancelled and never recorded
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("stale probe wedged the breaker shut")
 	}
 }
 
@@ -160,8 +245,8 @@ func TestBreakerSheds503(t *testing.T) {
 	if got := s.Metrics().BreakerRejected.Load(); got != 1 {
 		t.Fatalf("breaker-rejected counter %d", got)
 	}
-	if s.breaker.status().Opens != 1 {
-		t.Fatalf("breaker opens %d, want 1", s.breaker.status().Opens)
+	if s.breaker.Status().Opens != 1 {
+		t.Fatalf("breaker opens %d, want 1", s.breaker.Status().Opens)
 	}
 }
 
@@ -187,9 +272,10 @@ func TestRetryAfterHeader(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Retry-After %q not an integer", resp.Header.Get("Retry-After"))
 	}
-	// p90 = 2500ms bucket bound, queue 1 + worker 1 → 2 waves → 5s.
-	if ra != 5 {
-		t.Fatalf("Retry-After %d, want 5 (p90 2500ms × 2 waves)", ra)
+	// p90 = 2500ms bucket bound, queue 1 + worker 1 → 2 waves → base 5s,
+	// plus anti-lockstep jitter of at most half the base again.
+	if ra < 5 || ra > 7 {
+		t.Fatalf("Retry-After %d, want 5..7 (p90 2500ms × 2 waves + jitter)", ra)
 	}
 	if ra > int(s.cfg.MaxRetryAfter/time.Second) {
 		t.Fatalf("Retry-After %d exceeds cap", ra)
@@ -205,7 +291,7 @@ func TestRetryDelayDistribution(t *testing.T) {
 		var prev time.Duration
 		var out []time.Duration
 		for i := 0; i < 64; i++ {
-			prev = p.nextDelay(rng, prev)
+			prev = p.Next(rng, prev)
 			out = append(out, prev)
 		}
 		return out

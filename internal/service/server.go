@@ -85,8 +85,9 @@ type Config struct {
 	BreakerThreshold  float64
 	BreakerCooldown   time.Duration
 
-	// MaxRetryAfter caps the Retry-After header on shed load
-	// (default 60s).
+	// MaxRetryAfter caps the base Retry-After hint on shed load
+	// (default 60s); anti-lockstep jitter may add up to half the base
+	// again on top.
 	MaxRetryAfter time.Duration
 
 	// Chaos injects service-level faults into job execution
@@ -142,7 +143,7 @@ type Server struct {
 	queue   chan *Job
 	store   *jobStore
 	metrics *Metrics
-	breaker *breaker
+	breaker *Breaker
 	start   time.Time
 	nextID  atomic.Uint64
 
@@ -175,7 +176,7 @@ func New(cfg Config) (*Server, error) {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		store:    newJobStore(cfg.MaxJobsRetained),
 		metrics:  NewMetrics(),
-		breaker:  newBreaker(cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerThreshold, cfg.BreakerCooldown),
+		breaker:  NewBreaker(cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerThreshold, cfg.BreakerCooldown),
 		retryRNG: xrand.New(xrand.Mix(cfg.RetrySeed, 0x5E77)),
 		start:    time.Now(),
 		closed:   make(chan struct{}),
@@ -243,7 +244,7 @@ func New(cfg Config) (*Server, error) {
 
 // jobFromReplay revalidates a journaled pending job and rebuilds its
 // executable form (the harness config is derived state, not journaled).
-func (s *Server) jobFromReplay(rj replayJob) (*Job, error) {
+func (s *Server) jobFromReplay(rj ReplayJob) (*Job, error) {
 	req := rj.Req
 	switch rj.Kind {
 	case "run":
@@ -386,7 +387,7 @@ func (s *Server) settle(j *Job, err error, started time.Time) {
 		if j.finish(JobDone, "") {
 			s.journalFinish(j)
 			s.metrics.Completed.Add(1)
-			s.breaker.record(false)
+			s.breaker.Record(false)
 			s.metrics.ObserveLatency(j.latencyLabel(), float64(time.Since(started).Microseconds())/1000)
 		}
 		return
@@ -407,7 +408,7 @@ func (s *Server) settle(j *Job, err error, started time.Time) {
 	if j.finish(JobFailed, err.Error()) {
 		s.journalFinish(j)
 		s.metrics.Failed.Add(1)
-		s.breaker.record(true)
+		s.breaker.Record(true)
 	}
 }
 
@@ -417,7 +418,7 @@ func (s *Server) settle(j *Job, err error, started time.Time) {
 // finishes it instead.
 func (s *Server) scheduleRetry(j *Job, cause error) bool {
 	s.retryMu.Lock()
-	delay := s.cfg.Retry.nextDelay(s.retryRNG, j.prevBackoff())
+	delay := s.cfg.Retry.Next(s.retryRNG, j.prevBackoff())
 	s.retryMu.Unlock()
 	if !j.retryReset(fmt.Sprintf("retrying after transient failure: %v", cause), delay) {
 		return false
@@ -519,19 +520,21 @@ func (j *Job) latencyLabel() string {
 	return j.Req.Scheme
 }
 
-// execRun performs a (workload, scheme) simulation plus its FDIP
-// baseline (for the speedup column) through the shared Runner.
-func (s *Server) execRun(ctx context.Context, j *Job) error {
-	rc := j.rc
+// ComputeRunResult performs a (workload, scheme) simulation plus its
+// FDIP baseline (for the speedup column) through the shared Runner and
+// assembles the API result. Exported so the fleet coordinator's local
+// execution path produces values identical to a backend job's — the
+// determinism guarantee that makes fleet digest cross-checks exact.
+func ComputeRunResult(ctx context.Context, workload, scheme string, rc harness.RunConfig) (*RunResult, error) {
 	rc.Ctx = ctx
-	scheme := harness.Scheme(j.Req.Scheme)
-	r, err := harness.Run(j.Req.Workload, scheme, rc)
+	sc := harness.Scheme(scheme)
+	r, err := harness.Run(workload, sc, rc)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	out := &RunResult{
-		Workload:         j.Req.Workload,
-		Scheme:           j.Req.Scheme,
+		Workload:         workload,
+		Scheme:           scheme,
 		IPC:              r.Stats.IPC(),
 		Instructions:     r.Stats.Instructions,
 		BranchMPKI:       r.Stats.MPKI(),
@@ -543,12 +546,22 @@ func (s *Server) execRun(ctx context.Context, j *Job) error {
 		AvgDistance:      r.Stats.PFAvgDistance(),
 		StatsDigest:      r.Stats.Digest(),
 	}
-	if scheme != harness.SchemeFDIP {
-		sp, err := harness.Speedup(j.Req.Workload, scheme, rc)
+	if sc != harness.SchemeFDIP {
+		sp, err := harness.Speedup(workload, sc, rc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		out.SpeedupOverFDIP = sp
+	}
+	return out, nil
+}
+
+// execRun performs a (workload, scheme) simulation plus its FDIP
+// baseline (for the speedup column) through the shared Runner.
+func (s *Server) execRun(ctx context.Context, j *Job) error {
+	out, err := ComputeRunResult(ctx, j.Req.Workload, j.Req.Scheme, j.rc)
+	if err != nil {
+		return err
 	}
 	j.mu.Lock()
 	j.run = out
@@ -621,6 +634,9 @@ func validSchemes() map[string]bool {
 // configuration plus the job deadline.
 func (s *Server) buildRunConfig(req *RunRequest) (harness.RunConfig, time.Duration, error) {
 	rc := harness.DefaultRunConfig()
+	if len(req.Schemes) > 0 {
+		return rc, 0, fmt.Errorf("schemes is a fleet-coordinator sweep field; a single server takes one scheme per run")
+	}
 	if req.Quick {
 		rc = harness.QuickRunConfig()
 		rc.Workloads = nil // Quick trims run length; workloads stay explicit
@@ -685,9 +701,9 @@ func (s *Server) submit(w http.ResponseWriter, j *Job) {
 		return
 	default:
 	}
-	if ok, wait := s.breaker.allow(); !ok {
+	if ok, wait := s.breaker.Allow(); !ok {
 		s.metrics.BreakerRejected.Add(1)
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", ceilSeconds(wait)))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterJitter(ceilSeconds(wait))))
 		writeError(w, http.StatusServiceUnavailable,
 			"circuit breaker open (worker failure rate too high); retry later")
 		return
@@ -721,7 +737,7 @@ func (s *Server) submit(w http.ResponseWriter, j *Job) {
 // shedQueueFull writes the 429 backpressure response.
 func (s *Server) shedQueueFull(w http.ResponseWriter) {
 	s.metrics.Rejected.Add(1)
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterJitter(s.retryAfterSeconds())))
 	writeError(w, http.StatusTooManyRequests,
 		"queue full (%d jobs waiting); retry later", len(s.queue))
 }
@@ -743,6 +759,21 @@ func (s *Server) retryAfterSeconds() int {
 	if max := int(s.cfg.MaxRetryAfter / time.Second); secs > max {
 		secs = max
 	}
+	return secs
+}
+
+// retryAfterJitter spreads a Retry-After hint upward by as much as half
+// its base value, drawn from the seeded retry stream. Clients shed in
+// the same instant (queue full, breaker open) would otherwise all come
+// back in the same second and collide again; jitter never shortens the
+// hint, so it stays honest.
+func (s *Server) retryAfterJitter(secs int) int {
+	if secs < 1 {
+		secs = 1
+	}
+	s.retryMu.Lock()
+	secs += s.retryRNG.IntN(secs/2 + 1)
+	s.retryMu.Unlock()
 	return secs
 }
 
@@ -891,12 +922,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_depth": len(s.queue),
 		"uptime_ms":   time.Since(s.start).Milliseconds(),
 		"journal":     s.journal != nil,
-		"breaker":     s.breaker.status().State,
+		"breaker":     s.breaker.Status().State,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot(len(s.queue), s.cfg.Workers, harness.CacheStats(), s.breaker.status())
+	snap := s.metrics.Snapshot(len(s.queue), s.cfg.Workers, harness.CacheStats(), s.breaker.Status())
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, snap)
 		return
