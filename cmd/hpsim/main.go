@@ -3,8 +3,10 @@
 //
 // Usage:
 //
+//	hpsim -list                            # every workload and experiment id
 //	hpsim -experiment fig9                 # regenerate one figure
 //	hpsim -experiment all                  # the whole evaluation
+//	hpsim -experiment microservice -quick  # chain suite with per-request tails
 //	hpsim -experiment all -parallel 8      # same tables, 8 cores
 //	hpsim -workload tidb-tpcc -scheme Hierarchical
 //	hpsim -experiment fig9 -quick          # fast smoke run
@@ -34,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"hprefetch"
@@ -42,7 +45,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "", "experiment id ("+strings.Join(hprefetch.ExperimentIDs(), ", ")+") or 'all'")
-		workload   = flag.String("workload", "", "single-run mode: workload name ("+strings.Join(hprefetch.Workloads(), ", ")+")")
+		workload   = flag.String("workload", "", "single-run mode: workload name ("+strings.Join(hprefetch.AllWorkloads(), ", ")+")")
 		scheme     = flag.String("scheme", "Hierarchical", "single-run mode: FDIP, EFetch, MANA, EIP, Hierarchical, PerfectL1I")
 		warm       = flag.Uint64("warm", 0, "warmup instructions (0 = default)")
 		measure    = flag.Uint64("measure", 0, "measured instructions (0 = default)")
@@ -57,8 +60,23 @@ func main() {
 		tracedir   = flag.String("tracedir", "", "replay workloads with a trace at <dir>/<workload>.hpt, run the rest live")
 		sweep      = flag.Bool("sweep", false, "run a workload × scheme IPC sweep (the table a fleet coordinator produces)")
 		schemes    = flag.String("schemes", "", "comma-separated scheme subset for -sweep (default: all evaluated schemes)")
+		list       = flag.Bool("list", false, "print every known workload and experiment id (sorted) and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range hprefetch.AllWorkloads() {
+			fmt.Println("  " + w)
+		}
+		ids := append([]string{}, hprefetch.ExperimentIDs()...)
+		sort.Strings(ids)
+		fmt.Println("experiments:")
+		for _, id := range ids {
+			fmt.Println("  " + id)
+		}
+		return
+	}
 
 	opt := &hprefetch.Options{
 		WarmInstructions:    *warm,

@@ -23,7 +23,6 @@ import (
 
 	"hprefetch"
 	"hprefetch/internal/harness"
-	"hprefetch/internal/trace"
 	"hprefetch/internal/tracefile"
 	"hprefetch/internal/workloads"
 )
@@ -153,7 +152,7 @@ func runVerify(args []string) {
 		fatal(fmt.Errorf("trace seed %d does not match workload %s's preset seed %d",
 			meta.Seed, meta.Workload, built.Workload.TraceSeed))
 	}
-	eng := trace.New(built.Loaded, meta.Seed)
+	eng := built.NewEngine()
 	var events uint64
 	for {
 		got := r.Next()
@@ -169,6 +168,10 @@ func runVerify(args []string) {
 			fatal(fmt.Errorf("attribution after event %d diverges: trace (req %d type %d stage %d depth %d), live (req %d type %d stage %d depth %d)",
 				events, r.Requests(), r.CurrentType(), r.Stage(), r.Depth(),
 				eng.Requests(), eng.CurrentType(), eng.Stage(), eng.Depth()))
+		}
+		if r.CurrentRequest() != eng.CurrentRequest() || r.RequestDone() != eng.RequestDone() {
+			fatal(fmt.Errorf("request mark after event %d diverges: trace (req id %d done %v), live (req id %d done %v)",
+				events, r.CurrentRequest(), r.RequestDone(), eng.CurrentRequest(), eng.RequestDone()))
 		}
 		events++
 	}

@@ -57,6 +57,11 @@ func Schemes() []Scheme {
 // Workloads lists the eleven server workloads of §6.2.
 func Workloads() []string { return workloads.Names() }
 
+// AllWorkloads lists every simulatable workload — the paper's eleven
+// plus registered extensions such as the microservice chain suite —
+// sorted alphabetically (stable across processes).
+func AllWorkloads() []string { return workloads.AllSorted() }
+
 // Options tunes a simulation or experiment run. The zero value (or nil)
 // uses the paper-faithful defaults.
 type Options struct {

@@ -36,7 +36,10 @@ func goldenRunConfig() RunConfig {
 	rc := DefaultRunConfig()
 	rc.WarmInstr = 200_000
 	rc.MeasureInstr = 400_000
-	rc.Workloads = []string{"gin", "tidb-tpcc"}
+	// chain-burst pins the microservice suite: its interleaved stream,
+	// per-request stall histogram and trace round-trip are all under the
+	// same digest contract as the paper workloads.
+	rc.Workloads = []string{"gin", "tidb-tpcc", "chain-burst"}
 	return rc
 }
 
@@ -119,18 +122,20 @@ func TestGoldenDigestMatrix(t *testing.T) {
 // counter, not just IPC.
 func TestRunOneFullStatsDeterministic(t *testing.T) {
 	rc := goldenRunConfig()
-	for _, s := range []Scheme{SchemeEIP, SchemeHier} {
-		a, err := runOne(context.Background(), "gin", s, rc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := runOne(context.Background(), "gin", s, rc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(a.Stats, b.Stats) {
-			t.Errorf("%s: full Stats diverged:\n--- run A\n%s--- run B\n%s",
-				s, a.Stats.Canonical(), b.Stats.Canonical())
+	for _, w := range []string{"gin", "chain-burst"} {
+		for _, s := range []Scheme{SchemeEIP, SchemeHier} {
+			a, err := runOne(context.Background(), w, s, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := runOne(context.Background(), w, s, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Stats, b.Stats) {
+				t.Errorf("%s/%s: full Stats diverged:\n--- run A\n%s--- run B\n%s",
+					w, s, a.Stats.Canonical(), b.Stats.Canonical())
+			}
 		}
 	}
 }

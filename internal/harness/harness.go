@@ -28,7 +28,6 @@ import (
 	"hprefetch/internal/prefetch/eip"
 	"hprefetch/internal/prefetch/mana"
 	"hprefetch/internal/sim"
-	"hprefetch/internal/trace"
 	"hprefetch/internal/tracefile"
 	"hprefetch/internal/workloads"
 )
@@ -243,7 +242,7 @@ func RecordTrace(workload, path string, rc RunConfig) (tracefile.Summary, error)
 	}
 	target := rc.WarmInstr + rc.MeasureInstr
 	meta := tracefile.Meta{Workload: workload, Seed: built.Workload.TraceSeed, TargetInstructions: target}
-	return tracefile.Record(path, trace.New(built.Loaded, built.Workload.TraceSeed), meta, target, tracefile.TailEvents, tracefile.Options{})
+	return tracefile.Record(path, built.NewEngine(), meta, target, tracefile.TailEvents, tracefile.Options{})
 }
 
 // runOne performs the simulation behind Run. Any panic raised inside
@@ -312,7 +311,7 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 			Seed:               built.Workload.TraceSeed,
 			TargetInstructions: rc.WarmInstr + rc.MeasureInstr,
 		}
-		rec, err = tracefile.RecordTo(rc.RecordPath, trace.New(ld, built.Workload.TraceSeed), meta, tracefile.Options{})
+		rec, err = tracefile.RecordTo(rc.RecordPath, built.EngineOver(ld), meta, tracefile.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s/%s: %w", workload, scheme, err)
 		}
@@ -323,7 +322,7 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		}()
 		src = rec
 	default:
-		src = trace.New(ld, built.Workload.TraceSeed)
+		src = built.EngineOver(ld)
 	}
 
 	prm := rc.Params

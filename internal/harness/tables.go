@@ -240,13 +240,15 @@ func Experiment(id string, rc RunConfig) (*Table, error) {
 		return Ablations(rc)
 	case "degradation":
 		return DegradationTable(rc)
+	case "microservice":
+		return MicroserviceTable(rc)
 	}
-	return nil, fmt.Errorf("harness: unknown experiment %q (fig1..fig17, table2..table4)", id)
+	return nil, fmt.Errorf("harness: unknown experiment %q (fig1..fig17, table2..table4, ablation, degradation, microservice)", id)
 }
 
 // ExperimentIDs lists valid Experiment identifiers in paper order.
 func ExperimentIDs() []string {
-	return append(append([]string{}, paperIDs...), "ablation", "degradation")
+	return append(append([]string{}, paperIDs...), "ablation", "degradation", "microservice")
 }
 
 // Ablations exercises the Hierarchical Prefetcher's design choices the

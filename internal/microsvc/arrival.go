@@ -1,0 +1,126 @@
+// Package microsvc is the cloud-microservice scenario suite: chain
+// workloads built from program.GenerateChain topologies, an open-loop
+// load generator with seeded arrival processes, and a deterministic
+// interleaving engine that multiplexes concurrent request chains into
+// one instruction stream. The interleaver is an ordinary event source —
+// it plugs into the simulator, the trace recorder and the fleet exactly
+// where trace.Engine does — but its stream hops between the footprints
+// of concurrently executing requests, which is the instruction-cache
+// behaviour that defeats record-based prefetchers on serving systems.
+package microsvc
+
+import (
+	"fmt"
+	"math"
+
+	"hprefetch/internal/xrand"
+)
+
+// ArrivalKind names an arrival process shape.
+type ArrivalKind string
+
+const (
+	// Steady is a Poisson process: exponential gaps around MeanGap.
+	Steady ArrivalKind = "steady"
+	// Bursty alternates tight bursts of BurstLen arrivals with long
+	// quiet gaps, keeping the long-run rate near 1/MeanGap.
+	Bursty ArrivalKind = "bursty"
+	// Diurnal modulates the Poisson rate sinusoidally over Period,
+	// swinging by Amplitude around the mean.
+	Diurnal ArrivalKind = "diurnal"
+)
+
+// ArrivalConfig parameterises the open-loop load generator. Time is
+// measured in emitted instructions — the only clock a deterministic
+// instruction stream has.
+type ArrivalConfig struct {
+	Kind ArrivalKind
+	// MeanGap is the long-run mean inter-arrival gap in instructions.
+	MeanGap uint64
+	// BurstLen is the arrivals per burst (Bursty; default 8).
+	BurstLen int
+	// Period is the instructions per modulation cycle (Diurnal;
+	// default 64 * MeanGap).
+	Period uint64
+	// Amplitude is the rate swing in (0,1) (Diurnal; default 0.8).
+	Amplitude float64
+}
+
+// validate reports the first configuration problem, or nil.
+func (c *ArrivalConfig) validate() error {
+	switch c.Kind {
+	case Steady, Bursty, Diurnal:
+	default:
+		return fmt.Errorf("microsvc: unknown arrival kind %q", c.Kind)
+	}
+	if c.MeanGap == 0 {
+		return fmt.Errorf("microsvc: arrival MeanGap must be positive")
+	}
+	return nil
+}
+
+// arrivals generates a deterministic sequence of absolute arrival times
+// (instructions since stream start) for a seeded arrival process. The
+// first arrival is always at time 0, so every run begins with work.
+type arrivals struct {
+	cfg   ArrivalConfig
+	rng   *xrand.RNG
+	idx   uint64 // arrivals generated so far
+	t     uint64 // absolute time of the last generated arrival
+	first bool
+}
+
+func newArrivals(cfg ArrivalConfig, seed uint64) *arrivals {
+	if cfg.BurstLen <= 0 {
+		cfg.BurstLen = 8
+	}
+	if cfg.Period == 0 {
+		cfg.Period = 64 * cfg.MeanGap
+	}
+	if cfg.Amplitude <= 0 || cfg.Amplitude >= 1 {
+		cfg.Amplitude = 0.8
+	}
+	return &arrivals{
+		cfg:   cfg,
+		rng:   xrand.New(xrand.Mix(seed, 0xA881)),
+		first: true,
+	}
+}
+
+// exp draws an exponential gap with the given mean, at least 1.
+func (a *arrivals) exp(mean float64) uint64 {
+	g := -math.Log(1-a.rng.Float64()) * mean
+	if g < 1 {
+		return 1
+	}
+	return uint64(g)
+}
+
+// next returns the next absolute arrival time (non-decreasing).
+func (a *arrivals) next() uint64 {
+	if a.first {
+		a.first = false
+		a.idx++
+		return 0
+	}
+	mean := float64(a.cfg.MeanGap)
+	var gap uint64
+	switch a.cfg.Kind {
+	case Bursty:
+		if a.idx%uint64(a.cfg.BurstLen) == 0 {
+			// Quiet stretch between bursts: the burst's deferred budget.
+			gap = a.exp(mean * float64(a.cfg.BurstLen) * 7 / 8)
+		} else {
+			gap = a.exp(mean / 8)
+		}
+	case Diurnal:
+		phase := 2 * math.Pi * float64(a.t%a.cfg.Period) / float64(a.cfg.Period)
+		rate := 1 + a.cfg.Amplitude*math.Sin(phase)
+		gap = a.exp(mean / rate)
+	default: // Steady
+		gap = a.exp(mean)
+	}
+	a.idx++
+	a.t += gap
+	return a.t
+}

@@ -1,0 +1,182 @@
+package microsvc
+
+import (
+	"fmt"
+	"testing"
+
+	"hprefetch/internal/workloads"
+)
+
+// sample is the full observable state after one Next call: the event and
+// every attribution accessor. Byte-identical streams mean equal samples.
+type sample struct {
+	Ev    string
+	Type  int
+	Stage int16
+	Depth int
+	Req   uint64
+	Done  bool
+	Insts uint64
+	Reqs  uint64
+}
+
+func drain(e workloads.Engine, n int) []sample {
+	out := make([]sample, n)
+	for i := range out {
+		ev := e.Next()
+		out[i] = sample{
+			Ev:    fmt.Sprintf("%+v", ev),
+			Type:  e.CurrentType(),
+			Stage: e.Stage(),
+			Depth: e.Depth(),
+			Req:   e.CurrentRequest(),
+			Done:  e.RequestDone(),
+			Insts: e.Instructions(),
+			Reqs:  e.Requests(),
+		}
+	}
+	return out
+}
+
+// TestArrivalsDeterministic: the arrival process is a pure function of
+// (config, seed) — two generators with the same seed produce the
+// identical schedule, and times never decrease.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, kind := range []ArrivalKind{Steady, Bursty, Diurnal} {
+		cfg := ArrivalConfig{Kind: kind, MeanGap: 5_000}
+		a := newArrivals(cfg, 42)
+		b := newArrivals(cfg, 42)
+		c := newArrivals(cfg, 43)
+		var prev uint64
+		diverged := false
+		for i := 0; i < 10_000; i++ {
+			ta, tb, tc := a.next(), b.next(), c.next()
+			if ta != tb {
+				t.Fatalf("%s: arrival %d diverged under the same seed: %d vs %d", kind, i, ta, tb)
+			}
+			if ta != tc {
+				diverged = true
+			}
+			if i == 0 && ta != 0 {
+				t.Fatalf("%s: first arrival at %d, want 0", kind, ta)
+			}
+			if ta < prev {
+				t.Fatalf("%s: arrival %d went backwards: %d after %d", kind, i, ta, prev)
+			}
+			prev = ta
+		}
+		if !diverged {
+			t.Errorf("%s: 10k arrivals identical under different seeds", kind)
+		}
+	}
+}
+
+// TestArrivalValidation: New rejects bad arrival configs and lane counts.
+func TestArrivalValidation(t *testing.T) {
+	b, err := workloads.Build("chain-d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(b.Loaded, 1, 4, ArrivalConfig{Kind: "tidal", MeanGap: 100}); err == nil {
+		t.Error("unknown arrival kind accepted")
+	}
+	if _, err := New(b.Loaded, 1, 4, ArrivalConfig{Kind: Steady}); err == nil {
+		t.Error("zero MeanGap accepted")
+	}
+	if _, err := New(b.Loaded, 1, 0, ArrivalConfig{Kind: Steady, MeanGap: 100}); err == nil {
+		t.Error("zero lanes accepted")
+	}
+}
+
+// TestEngineDeterministic is the seeded-determinism guarantee behind the
+// suite: two completely fresh interleaving engines with the same seed
+// produce byte-identical streams — every event and every attribution
+// sample — exactly as two separate processes would (CI checks the
+// cross-process half via digest diffs).
+func TestEngineDeterministic(t *testing.T) {
+	b, err := workloads.Build("chain-burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	sa := drain(b.NewEngine(), n)
+	sb := drain(b.NewEngine(), n)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("event %d diverged between identical engines:\n a: %+v\n b: %+v", i, sa[i], sb[i])
+		}
+	}
+}
+
+// TestEngineInterleaves: the open-loop stream must actually multiplex
+// requests — events from at least two different in-flight requests
+// appear before the first request completes, and completed ids cover a
+// contiguous prefix-free set bounded by Requests().
+func TestEngineInterleaves(t *testing.T) {
+	b, err := workloads.Build("chain-d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := b.NewEngine()
+	seen := map[uint64]bool{}
+	done := map[uint64]bool{}
+	var hops int
+	var lastReq uint64
+	const n = 400_000
+	for i := 0; i < n; i++ {
+		eng.Next()
+		req := eng.CurrentRequest()
+		if i > 0 && req != lastReq {
+			hops++
+		}
+		lastReq = req
+		seen[req] = true
+		if eng.RequestDone() {
+			if done[req] {
+				t.Fatalf("request %d completed twice", req)
+			}
+			done[req] = true
+		}
+		if req >= eng.Requests() {
+			t.Fatalf("event attributed to request %d but only %d started", req, eng.Requests())
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("only %d distinct requests observed in %d events; stream is not interleaving", len(seen), n)
+	}
+	if hops < 2*len(done) {
+		t.Errorf("only %d request switches for %d completions; lanes are not multiplexing mid-request", hops, len(done))
+	}
+	if len(done) == 0 {
+		t.Errorf("no request completed in %d events", n)
+	}
+}
+
+// TestPresets: every preset is registered and resolvable through the
+// workload registry by name, with intact metadata.
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) == 0 {
+		t.Fatal("no presets")
+	}
+	for i, p := range ps {
+		if i > 0 && !(ps[i-1].Name < p.Name) {
+			t.Errorf("presets out of name order: %q before %q", ps[i-1].Name, p.Name)
+		}
+		w, err := workloads.Get(p.Name)
+		if err != nil {
+			t.Errorf("preset %s not registered: %v", p.Name, err)
+			continue
+		}
+		if w.Generator == nil || w.EngineFactory == nil {
+			t.Errorf("preset %s registered without generator/engine factory", p.Name)
+		}
+		got, ok := PresetByName(p.Name)
+		if !ok || got != p {
+			t.Errorf("PresetByName(%s) = %+v, %v", p.Name, got, ok)
+		}
+	}
+	if _, ok := PresetByName("chain-nope"); ok {
+		t.Error("PresetByName invented a preset")
+	}
+}

@@ -1,0 +1,114 @@
+package microsvc
+
+import (
+	"fmt"
+
+	"hprefetch/internal/loader"
+	"hprefetch/internal/program"
+	"hprefetch/internal/workloads"
+)
+
+// Preset describes one registered chain workload: its topology and load
+// shape, the metadata the microservice experiment's table columns show.
+type Preset struct {
+	Name    string
+	Depth   int
+	Fanout  int
+	Arrival ArrivalKind
+	Lanes   int
+}
+
+// presetList is the registered chain suite, in name order. It spans the
+// experiment's three axes: chain depth (d2 vs d4), fan-out (f2), and
+// arrival pattern (burst, diurnal vs the steady default).
+var presetList = []Preset{
+	{Name: "chain-burst", Depth: 3, Fanout: 1, Arrival: Bursty, Lanes: 6},
+	{Name: "chain-d2", Depth: 2, Fanout: 1, Arrival: Steady, Lanes: 4},
+	{Name: "chain-d4", Depth: 4, Fanout: 1, Arrival: Steady, Lanes: 4},
+	{Name: "chain-diurnal", Depth: 3, Fanout: 1, Arrival: Diurnal, Lanes: 4},
+	{Name: "chain-f2", Depth: 3, Fanout: 2, Arrival: Steady, Lanes: 4},
+}
+
+// Presets returns the chain workload suite in stable (name) order.
+func Presets() []Preset {
+	out := make([]Preset, len(presetList))
+	copy(out, presetList)
+	return out
+}
+
+// chainConfig builds the program topology for a preset. Sizes are kept
+// moderate — and library digressions rare — so one chained request
+// retires in the low tens of thousands of instructions: tail percentiles
+// need hundreds of completed requests per measurement window. The thrash
+// the suite studies comes from interleaving concurrent requests across
+// the per-service footprints, not from any single service being huge.
+func chainConfig(p Preset, seed uint64) program.ChainConfig {
+	base := program.DefaultConfig()
+	base.Name = p.Name
+	base.Seed = seed
+	base.RequestTypes = 6
+	base.TypeZipf = 0.8
+	base.LibCallsMin = 0
+	base.LibCallsMax = 1
+	base.OrphanFuncs = 8_000
+	base.ColdTrees = 6
+	base.ColdTreeFuncs = 200
+	cc := program.ChainConfig{Base: base, Depth: p.Depth, Fanout: p.Fanout}
+	// Per-service trees scale inversely with the service count: a request
+	// walks every service, so this keeps request length (and therefore
+	// completions per measurement window) comparable across presets while
+	// the combined hot footprint still exceeds the L1-I.
+	n := cc.Services()
+	cc.ServiceCommonFuncs = 72 / n
+	if cc.ServiceCommonFuncs < 12 {
+		cc.ServiceCommonFuncs = 12
+	}
+	cc.ServiceHandlerFuncs = 36 / n
+	if cc.ServiceHandlerFuncs < 6 {
+		cc.ServiceHandlerFuncs = 6
+	}
+	return cc
+}
+
+// arrivalConfig builds the load shape for a preset. MeanGap is small
+// relative to a chained request's length (roughly 25k instructions for
+// a depth-3 chain), so lanes overlap and the backlog stays non-trivially
+// occupied — an open-loop generator does not slow down because the
+// system is busy.
+func arrivalConfig(p Preset) ArrivalConfig {
+	return ArrivalConfig{Kind: p.Arrival, MeanGap: 8_000}
+}
+
+// PresetByName returns the preset metadata for a registered chain
+// workload name.
+func PresetByName(name string) (Preset, bool) {
+	for _, p := range presetList {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
+
+func init() {
+	for i, p := range presetList {
+		p := p
+		cc := chainConfig(p, 0xC4A1_0000+uint64(i))
+		lanes := p.Lanes
+		ac := arrivalConfig(p)
+		w := workloads.Workload{
+			Name:      p.Name,
+			Config:    cc.Base,
+			TraceSeed: 101 + 2*uint64(i),
+			Generator: func() (*program.Program, error) {
+				return program.GenerateChain(cc)
+			},
+			EngineFactory: func(ld *loader.Loaded, seed uint64) workloads.Engine {
+				return MustNew(ld, seed, lanes, ac)
+			},
+		}
+		if err := workloads.Register(w); err != nil {
+			panic(fmt.Sprintf("microsvc: registering %s: %v", p.Name, err))
+		}
+	}
+}

@@ -795,7 +795,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Workload == "" {
 		writeError(w, http.StatusBadRequest, "workload is required (one of %s)",
-			strings.Join(workloads.Names(), ", "))
+			strings.Join(workloads.AllSorted(), ", "))
 		return
 	}
 	if _, err := workloads.Get(req.Workload); err != nil {

@@ -86,6 +86,20 @@ type Machine struct {
 	predOff int
 	blocked blockKind
 
+	// Per-request stall attribution (active when the source implements
+	// RequestMarker). ringReq/ringDone shadow the lookahead ring with the
+	// marks sampled as each event was pulled; curReq/curDone are the
+	// marks of the event currently being fetched; reqStall accumulates
+	// each in-flight request's exposed fetch stall. The map deliberately
+	// survives ResetStats so a request spanning the warmup/measure
+	// boundary completes with its full stall.
+	marker   RequestMarker
+	ringReq  []uint64
+	ringDone []bool
+	curReq   uint64
+	curDone  bool
+	reqStall map[uint64]uint64
+
 	// Evaluated-prefetcher request queue: requests park here when the
 	// MSHR file is full and drain as fills complete. Each remembers the
 	// block sequence at request time (the paper measures prefetch
@@ -156,6 +170,12 @@ func New(prm Params, eng EventSource, pf prefetch.Prefetcher) (*Machine, error) 
 		ring:       make([]isa.BlockEvent, prm.FTQEntries+2),
 		histBlocks: make([]isa.Block, historyLen),
 		histTimes:  make([]uint64, historyLen),
+	}
+	if rm, ok := eng.(RequestMarker); ok {
+		m.marker = rm
+		m.ringReq = make([]uint64, len(m.ring))
+		m.ringDone = make([]bool, len(m.ring))
+		m.reqStall = make(map[uint64]uint64)
 	}
 	return m, nil
 }
@@ -263,7 +283,12 @@ func (m *Machine) ensure(i int) {
 				m.eng.Instructions(), cause))
 			return
 		}
-		m.ring[(m.head+m.count)%len(m.ring)] = ev
+		idx := (m.head + m.count) % len(m.ring)
+		m.ring[idx] = ev
+		if m.marker != nil {
+			m.ringReq[idx] = m.marker.CurrentRequest()
+			m.ringDone[idx] = m.marker.RequestDone()
+		}
 		m.count++
 	}
 }
@@ -276,6 +301,10 @@ func (m *Machine) popEvent() (isa.BlockEvent, bool) {
 		return isa.BlockEvent{}, false
 	}
 	ev := m.ring[m.head]
+	if m.marker != nil {
+		m.curReq = m.ringReq[m.head]
+		m.curDone = m.ringDone[m.head]
+	}
 	m.head = (m.head + 1) % len(m.ring)
 	m.count--
 	if m.predOff > 0 {
@@ -375,7 +404,13 @@ func (m *Machine) fetch(ev *isa.BlockEvent, wasInFTQ bool) {
 	// Demand access once per distinct consecutive block.
 	blk := ev.Block()
 	if !m.haveLast || blk != m.lastBlock {
+		stallBefore := m.st.StallScaled
 		m.demandAccess(blk)
+		if m.marker != nil {
+			if d := m.st.StallScaled - stallBefore; d != 0 {
+				m.reqStall[m.curReq] += d
+			}
+		}
 		m.lastBlock = blk
 		m.haveLast = true
 		m.blockSeq++
@@ -427,6 +462,19 @@ func (m *Machine) fetch(ev *isa.BlockEvent, wasInFTQ bool) {
 			m.st.FaultTagFlips++
 		}
 		m.pf.OnRetire(ev)
+	}
+
+	// Request completion: fold the finished request's accumulated stall
+	// into the per-request tail statistics.
+	if m.marker != nil && m.curDone {
+		total := m.reqStall[m.curReq]
+		delete(m.reqStall, m.curReq)
+		m.st.ReqCompleted++
+		m.st.ReqStallSum += total
+		if total > m.st.ReqStallMax {
+			m.st.ReqStallMax = total
+		}
+		m.st.ReqStallHist[reqStallBucket(total/CycleScale)]++
 	}
 }
 
@@ -821,6 +869,16 @@ func distBucket(d uint64) int {
 		}
 	}
 	return len(DistanceBuckets) - 1
+}
+
+// reqStallBucket maps a per-request stall (cycles) to its histogram bucket.
+func reqStallBucket(cycles uint64) int {
+	for i, hi := range ReqStallBuckets {
+		if cycles <= hi {
+			return i
+		}
+	}
+	return len(ReqStallBuckets) - 1
 }
 
 // --- prefetch.Machine interface ---

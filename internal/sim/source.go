@@ -35,3 +35,20 @@ type EventSource interface {
 	// Depth is the current simulated call-stack depth.
 	Depth() int
 }
+
+// RequestMarker is the optional per-request boundary interface. Sources
+// that implement it (trace.Engine, the tracefile readers and Recorder,
+// the microservice interleaver) let the machine attribute fetch stall
+// to individual requests and fill the per-request tail histogram; plain
+// synthetic sources without it still simulate, just without tail stats.
+//
+// Both methods follow the sampling contract above: they describe the
+// most recently returned event.
+type RequestMarker interface {
+	// CurrentRequest is the id of the request the event belongs to.
+	// Ids are unique per in-flight request; an interleaving source may
+	// return non-monotonic ids as it hops between concurrent requests.
+	CurrentRequest() uint64
+	// RequestDone reports whether the event was its request's last.
+	RequestDone() bool
+}

@@ -4,6 +4,15 @@ package sim
 // (in cache blocks), matching the Figure 2c analysis.
 var DistanceBuckets = []uint64{2, 4, 8, 16, 32, 64, 128, 256, 1 << 62}
 
+// ReqStallBuckets are the per-request fetch-stall histogram bucket upper
+// bounds, in cycles: a power-of-two ladder from stall-free requests up
+// through the deep tail, with a catch-all final bucket. A request lands
+// in the first bucket whose bound is >= its total fetch stall.
+var ReqStallBuckets = []uint64{
+	0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+	8192, 16384, 32768, 65536, 131072, 262144, 524288, 1 << 62,
+}
+
 // Stats aggregates everything a run measures. All times are in scaled
 // units (CycleScale per cycle) unless the accessor converts.
 type Stats struct {
@@ -70,6 +79,16 @@ type Stats struct {
 	MetaWrites      uint64
 	MetaReadBlocks  uint64
 	MetaWriteBlocks uint64
+
+	// Per-request fetch-stall attribution, filled only when the event
+	// source implements RequestMarker. A request's stall is every scaled
+	// unit its demand accesses added to StallScaled between its first
+	// and last event; the histogram (per ReqStallBuckets, in cycles) is
+	// what the tail percentiles read.
+	ReqCompleted uint64
+	ReqStallSum  uint64 // scaled units over completed requests
+	ReqStallMax  uint64 // scaled units, worst completed request
+	ReqStallHist []uint64
 }
 
 // NewStats returns a Stats with histogram storage allocated.
@@ -77,6 +96,7 @@ func NewStats() *Stats {
 	return &Stats{
 		PFDistHist:   make([]uint64, len(DistanceBuckets)),
 		PFDistUseful: make([]uint64, len(DistanceBuckets)),
+		ReqStallHist: make([]uint64, len(ReqStallBuckets)),
 	}
 }
 
@@ -179,4 +199,60 @@ func (s *Stats) TotalMissLatencyCycles() float64 {
 // MemBlocksTotal returns all blocks fetched from memory.
 func (s *Stats) MemBlocksTotal() uint64 {
 	return s.MemBlocksDemand + s.MemBlocksFDIP + s.MemBlocksPF + s.MemBlocksMeta
+}
+
+// ReqStallMeanCycles returns the mean fetch stall per completed request,
+// in cycles.
+func (s *Stats) ReqStallMeanCycles() float64 {
+	if s.ReqCompleted == 0 {
+		return 0
+	}
+	return float64(s.ReqStallSum) / float64(s.ReqCompleted) / CycleScale
+}
+
+// ReqStallPercentileCycles returns the q-th percentile (q in [0,1]) of
+// the per-request fetch-stall distribution, in cycles, interpolated
+// linearly within the histogram bucket holding that rank. Display only:
+// digests pin the integer histogram, not this derived value.
+func (s *Stats) ReqStallPercentileCycles(q float64) float64 {
+	if s.ReqCompleted == 0 || len(s.ReqStallHist) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.ReqCompleted)
+	var cum uint64
+	for i, n := range s.ReqStallHist {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(ReqStallBuckets[i-1])
+			}
+			hi := float64(ReqStallBuckets[i])
+			if i == len(s.ReqStallHist)-1 {
+				// Catch-all bucket: the worst observed request bounds it.
+				hi = float64(s.ReqStallMax) / CycleScale
+				if hi < lo {
+					hi = lo
+				}
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return float64(s.ReqStallMax) / CycleScale
 }

@@ -57,6 +57,12 @@ type Engine struct {
 	curType  int
 	requests uint64
 	instrs   uint64
+
+	// Per-request boundary marks, sampled per returned event: curReq is
+	// the id (0-based, contiguous) of the request the most recently
+	// returned event belongs to, curDone whether that event completed it.
+	curReq  uint64
+	curDone bool
 }
 
 // New creates an engine over a loaded program. Seed separates the dynamic
@@ -97,8 +103,26 @@ func (e *Engine) Next() isa.BlockEvent {
 	ev := e.queue[e.qHead]
 	e.qHead++
 	e.instrs += uint64(ev.NumInstr)
+	// Request ids advance one event late: step() has already started the
+	// next request internally by the time the completing jump is returned,
+	// so the flip is deferred until the event after it.
+	if e.curDone {
+		e.curReq++
+		e.curDone = false
+	}
+	if ev.Branch == isa.BrJump && ev.Func == e.prog.Entry {
+		e.curDone = true
+	}
 	return ev
 }
+
+// CurrentRequest returns the id of the request the most recently
+// returned event belongs to. Ids are 0-based and contiguous.
+func (e *Engine) CurrentRequest() uint64 { return e.curReq }
+
+// RequestDone reports whether the most recently returned event was the
+// final event of its request (the jump back to the request loop).
+func (e *Engine) RequestDone() bool { return e.curDone }
 
 // body returns the (cached) expanded body of a function.
 func (e *Engine) body(id isa.FuncID) []program.Item {

@@ -18,9 +18,11 @@ import (
 //	              continues where the last one pointed — the common case)
 //	[branch≠none] zigzag Target − EndAddr
 //	[func-chg]    zigzag Func − previous Func
-//	[attrs-chg]   u8 attr bits, then per set bit: request delta (uvarint,
+//	[attrs-chg]   u8 attr bits, then per set bit: requests delta (uvarint,
 //	              ≥1), new type (uvarint), new stage (zigzag), depth
-//	              delta (zigzag, ≠0)
+//	              delta (zigzag, ≠0), request-id delta (zigzag, ≠0; ids
+//	              hop backwards when an interleaver switches lanes), done
+//	              flip (no payload — the bit itself toggles the flag)
 //
 // BrPC and a BrNone event's Target are derived from Addr and NumInstr,
 // never stored. The decoder enforces canonical form throughout —
@@ -44,6 +46,8 @@ const (
 	atType     byte = 1 << 1
 	atStage    byte = 1 << 2
 	atDepth    byte = 1 << 3
+	atRequest  byte = 1 << 4
+	atDone     byte = 1 << 5
 )
 
 // Sanity bounds for decoded attribution values: generous multiples of
@@ -52,6 +56,9 @@ const (
 const (
 	maxTypeValue = 1 << 20
 	maxDepth     = 1 << 20
+	// maxRequestID keeps request-id arithmetic inside int64 range so the
+	// zigzag deltas below can never overflow.
+	maxRequestID = uint64(1) << 62
 )
 
 // frameStart is the engine-observable state immediately before a
@@ -71,6 +78,12 @@ func encodeFrameBody(start frameStart, events []isa.BlockEvent, attrs []Attrs) [
 	w.uvarint(uint64(start.A.Type))
 	w.zigzag(int64(start.A.Stage))
 	w.uvarint(uint64(start.A.Depth))
+	w.uvarint(start.A.Request)
+	done := byte(0)
+	if start.A.Done {
+		done = 1
+	}
+	w.u8(done)
 
 	prevTarget := isa.Addr(0)
 	prevFunc := isa.FuncID(0)
@@ -107,6 +120,12 @@ func encodeFrameBody(start frameStart, events []isa.BlockEvent, attrs []Attrs) [
 		if a.Depth != prev.Depth {
 			ab |= atDepth
 		}
+		if a.Request != prev.Request {
+			ab |= atRequest
+		}
+		if a.Done != prev.Done {
+			ab |= atDone
+		}
 		if ab != 0 {
 			flags |= evAttrDelta
 		}
@@ -136,6 +155,10 @@ func encodeFrameBody(start frameStart, events []isa.BlockEvent, attrs []Attrs) [
 			if ab&atDepth != 0 {
 				w.zigzag(int64(a.Depth) - int64(prev.Depth))
 			}
+			if ab&atRequest != 0 {
+				w.zigzag(int64(a.Request) - int64(prev.Request))
+			}
+			// atDone carries no payload: the bit is the toggle.
 		}
 
 		prevTarget = ev.Target
@@ -166,6 +189,8 @@ func decodeFrameBodyInto(body []byte, events []isa.BlockEvent, attrs []Attrs) (f
 	typ := r.uvarint()
 	stage := r.zigzag()
 	depth := r.uvarint()
+	req := r.uvarint()
+	done := r.u8()
 	if r.err == nil {
 		switch {
 		case count > maxFrameEvents:
@@ -178,6 +203,10 @@ func decodeFrameBodyInto(body []byte, events []isa.BlockEvent, attrs []Attrs) (f
 			r.fail("start stage %d out of range", stage)
 		case depth > maxDepth:
 			r.fail("start depth %d out of range", depth)
+		case req > maxRequestID:
+			r.fail("start request id %d out of range", req)
+		case done > 1:
+			r.fail("start done flag %d out of range", done)
 		}
 	}
 	if r.err != nil {
@@ -186,6 +215,8 @@ func decodeFrameBodyInto(body []byte, events []isa.BlockEvent, attrs []Attrs) (f
 	start.A.Type = int(typ)
 	start.A.Stage = int16(stage)
 	start.A.Depth = int(depth)
+	start.A.Request = req
+	start.A.Done = done == 1
 
 	if uint64(cap(events)) < count {
 		events = make([]isa.BlockEvent, 0, count)
@@ -257,7 +288,7 @@ func decodeFrameBodyInto(body []byte, events []isa.BlockEvent, attrs []Attrs) (f
 		a := prev
 		if flags&evAttrDelta != 0 {
 			ab := r.u8()
-			if r.err == nil && (ab == 0 || ab&^(atRequests|atType|atStage|atDepth) != 0) {
+			if r.err == nil && (ab == 0 || ab&^(atRequests|atType|atStage|atDepth|atRequest|atDone) != 0) {
 				r.fail("event %d: invalid attr bits %#x", i, ab)
 				break
 			}
@@ -293,6 +324,18 @@ func decodeFrameBodyInto(body []byte, events []isa.BlockEvent, attrs []Attrs) (f
 					break
 				}
 				a.Depth = int(nd)
+			}
+			if ab&atRequest != 0 {
+				d := r.zigzag()
+				nr := int64(prev.Request) + d
+				if r.err == nil && (d == 0 || nr < 0 || uint64(nr) > maxRequestID) {
+					r.fail("event %d: non-canonical request-id delta %d", i, d)
+					break
+				}
+				a.Request = uint64(nr)
+			}
+			if ab&atDone != 0 {
+				a.Done = !prev.Done
 			}
 		}
 

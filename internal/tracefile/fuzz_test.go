@@ -31,13 +31,13 @@ func fuzzSeedBody(tb testing.TB) []byte {
 		mk(0x400120, 5, isa.BrJump, 0x400000, 0, false, false),
 	}
 	attrs := []Attrs{
-		{Requests: 1, Type: 0, Stage: -1, Depth: 0},
-		{Requests: 1, Type: 0, Stage: 2, Depth: 0},
-		{Requests: 1, Type: 0, Stage: 2, Depth: 1},
-		{Requests: 1, Type: 0, Stage: 2, Depth: 0},
-		{Requests: 2, Type: 1, Stage: -1, Depth: 0},
+		{Requests: 1, Type: 0, Stage: -1, Depth: 0, Request: 3},
+		{Requests: 1, Type: 0, Stage: 2, Depth: 0, Request: 3},
+		{Requests: 1, Type: 0, Stage: 2, Depth: 1, Request: 1}, // backwards id hop (interleaving)
+		{Requests: 1, Type: 0, Stage: 2, Depth: 0, Request: 1, Done: true},
+		{Requests: 2, Type: 1, Stage: -1, Depth: 0, Request: 4},
 	}
-	start := frameStart{Instr: 123, A: Attrs{Requests: 1, Type: 0, Stage: -1, Depth: 0}}
+	start := frameStart{Instr: 123, A: Attrs{Requests: 1, Type: 0, Stage: -1, Depth: 0, Request: 2}}
 	return encodeFrameBody(start, events, attrs)
 }
 

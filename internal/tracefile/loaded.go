@@ -98,10 +98,13 @@ func (m *MemReader) Err() error {
 	return m.l.term
 }
 
-// Instructions, Requests, CurrentType, Stage and Depth follow the
-// engine's sampling contract (state after the most recent event).
-func (m *MemReader) Instructions() uint64 { return m.instr }
-func (m *MemReader) Requests() uint64     { return m.cur.Requests }
-func (m *MemReader) CurrentType() int     { return m.cur.Type }
-func (m *MemReader) Stage() int16         { return m.cur.Stage }
-func (m *MemReader) Depth() int           { return m.cur.Depth }
+// Instructions, Requests, CurrentType, Stage, Depth, CurrentRequest and
+// RequestDone follow the engine's sampling contract (state after the
+// most recent event).
+func (m *MemReader) Instructions() uint64   { return m.instr }
+func (m *MemReader) Requests() uint64       { return m.cur.Requests }
+func (m *MemReader) CurrentType() int       { return m.cur.Type }
+func (m *MemReader) Stage() int16           { return m.cur.Stage }
+func (m *MemReader) Depth() int             { return m.cur.Depth }
+func (m *MemReader) CurrentRequest() uint64 { return m.cur.Request }
+func (m *MemReader) RequestDone() bool      { return m.cur.Done }

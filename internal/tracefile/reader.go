@@ -75,10 +75,14 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("tracefile: %s: %w (unreadable header)", path, ErrTruncated)
 	}
-	if binary.LittleEndian.Uint64(prefix) != traceMagic ||
-		binary.LittleEndian.Uint16(prefix[8:]) != traceVersion {
+	if binary.LittleEndian.Uint64(prefix) != traceMagic {
 		f.Close()
-		return nil, fmt.Errorf("tracefile: %s: bad magic or version (not a trace file?)", path)
+		return nil, fmt.Errorf("tracefile: %s: bad magic (not a trace file?)", path)
+	}
+	if v := binary.LittleEndian.Uint16(prefix[8:]); v != traceVersion {
+		f.Close()
+		return nil, fmt.Errorf("tracefile: %s: trace format version %d, this build reads version %d — re-record the trace",
+			path, v, traceVersion)
 	}
 	r.off = headerPrefixSize
 	payload, err := r.readRecord()
@@ -135,15 +139,17 @@ func (r *Reader) Next() isa.BlockEvent {
 	return ev
 }
 
-// Instructions, Requests, CurrentType, Stage and Depth mirror the
-// engine's sampling contract: they describe the state after the most
-// recently returned event (before any Next: the recorded pre-stream
-// state).
-func (r *Reader) Instructions() uint64 { return r.instr }
-func (r *Reader) Requests() uint64     { return r.cur.Requests }
-func (r *Reader) CurrentType() int     { return r.cur.Type }
-func (r *Reader) Stage() int16         { return r.cur.Stage }
-func (r *Reader) Depth() int           { return r.cur.Depth }
+// Instructions, Requests, CurrentType, Stage, Depth, CurrentRequest and
+// RequestDone mirror the engine's sampling contract: they describe the
+// state after the most recently returned event (before any Next: the
+// recorded pre-stream state).
+func (r *Reader) Instructions() uint64   { return r.instr }
+func (r *Reader) Requests() uint64       { return r.cur.Requests }
+func (r *Reader) CurrentType() int       { return r.cur.Type }
+func (r *Reader) Stage() int16           { return r.cur.Stage }
+func (r *Reader) Depth() int             { return r.cur.Depth }
+func (r *Reader) CurrentRequest() uint64 { return r.cur.Request }
+func (r *Reader) RequestDone() bool      { return r.cur.Done }
 
 // SkipToInstruction advances the stream until Instructions() >= n,
 // using the frame index to seek past whole frames without decoding

@@ -41,8 +41,11 @@ const (
 	// traceMagic identifies the trace format ("HPTR" + version packing,
 	// journal-style).
 	traceMagic uint64 = 0x4850_5452_0001_0001
-	// traceVersion is the current format version.
-	traceVersion uint16 = 1
+	// traceVersion is the current format version. Version 2 added the
+	// per-request boundary marks (Attrs.Request/Done) that per-request
+	// tail metrics replay from; version-1 traces are rejected with a
+	// re-record hint.
+	traceVersion uint16 = 2
 	// headerPrefixSize is the fixed magic + version prefix.
 	headerPrefixSize = 10
 	// trailerMagic terminates a completely written trace.
@@ -106,10 +109,17 @@ type Attrs struct {
 	Stage int16
 	// Depth is the simulated call-stack depth.
 	Depth int
+	// Request is the id of the request the event belongs to. Under an
+	// interleaving source (microservice load generation) ids are unique
+	// per in-flight request but not monotonic in the stream.
+	Request uint64
+	// Done marks the event as its request's last: the fetch-stall
+	// accumulated for Request is complete once this event retires.
+	Done bool
 }
 
-// Source is the event-stream interface a Recorder tees. It is
-// structurally identical to sim.EventSource: trace.Engine, Reader and
+// Source is the event-stream interface a Recorder tees: sim.EventSource
+// plus the sim.RequestMarker per-request marks. trace.Engine, Reader and
 // Recorder all satisfy both.
 type Source interface {
 	Next() isa.BlockEvent
@@ -118,6 +128,8 @@ type Source interface {
 	CurrentType() int
 	Stage() int16
 	Depth() int
+	CurrentRequest() uint64
+	RequestDone() bool
 }
 
 // bwriter builds varint-encoded payloads.

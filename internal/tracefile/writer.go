@@ -134,6 +134,8 @@ func (w *Writer) Append(ev isa.BlockEvent, a Attrs) error {
 		w.err = fmt.Errorf("tracefile: request counter went backwards (%d -> %d)", w.prev.Requests, a.Requests)
 	case a.Type < 0 || a.Type > maxTypeValue || a.Depth < 0 || a.Depth > maxDepth:
 		w.err = fmt.Errorf("tracefile: attribution out of range (type %d, depth %d)", a.Type, a.Depth)
+	case a.Request > maxRequestID:
+		w.err = fmt.Errorf("tracefile: request id %d not representable", a.Request)
 	}
 	if w.err != nil {
 		return w.err
@@ -342,6 +344,8 @@ func sample(src Source) Attrs {
 		Type:     src.CurrentType(),
 		Stage:    src.Stage(),
 		Depth:    src.Depth(),
+		Request:  src.CurrentRequest(),
+		Done:     src.RequestDone(),
 	}
 }
 
@@ -355,13 +359,15 @@ func (r *Recorder) Next() isa.BlockEvent {
 	return ev
 }
 
-// Instructions, Requests, CurrentType, Stage and Depth delegate to the
-// live source.
-func (r *Recorder) Instructions() uint64 { return r.src.Instructions() }
-func (r *Recorder) Requests() uint64     { return r.src.Requests() }
-func (r *Recorder) CurrentType() int     { return r.src.CurrentType() }
-func (r *Recorder) Stage() int16         { return r.src.Stage() }
-func (r *Recorder) Depth() int           { return r.src.Depth() }
+// Instructions, Requests, CurrentType, Stage, Depth, CurrentRequest and
+// RequestDone delegate to the live source.
+func (r *Recorder) Instructions() uint64   { return r.src.Instructions() }
+func (r *Recorder) Requests() uint64       { return r.src.Requests() }
+func (r *Recorder) CurrentType() int       { return r.src.CurrentType() }
+func (r *Recorder) Stage() int16           { return r.src.Stage() }
+func (r *Recorder) Depth() int             { return r.src.Depth() }
+func (r *Recorder) CurrentRequest() uint64 { return r.src.CurrentRequest() }
+func (r *Recorder) RequestDone() bool      { return r.src.RequestDone() }
 
 // Finish pulls tail extra events from the still-live source (see
 // TailEvents) and seals the trace, returning its summary.

@@ -18,11 +18,27 @@ import (
 	"sort"
 	"sync"
 
+	"hprefetch/internal/isa"
 	"hprefetch/internal/linker"
 	"hprefetch/internal/loader"
 	"hprefetch/internal/program"
 	"hprefetch/internal/trace"
 )
+
+// Engine is the event-stream interface a workload's engine produces:
+// sim.EventSource plus the sim.RequestMarker per-request marks.
+// trace.Engine satisfies it; registered workloads may substitute their
+// own implementation (e.g. the microservice interleaver).
+type Engine interface {
+	Next() isa.BlockEvent
+	Instructions() uint64
+	Requests() uint64
+	CurrentType() int
+	Stage() int16
+	Depth() int
+	CurrentRequest() uint64
+	RequestDone() bool
+}
 
 // Workload couples a generator preset with its driver parameters.
 type Workload struct {
@@ -33,6 +49,13 @@ type Workload struct {
 	// TraceSeed drives the request stream (fixed per workload so every
 	// experiment sees the same execution).
 	TraceSeed uint64
+	// Generator, when non-nil, replaces program.Generate(Config) as the
+	// program builder (chain workloads use program.GenerateChain).
+	Generator func() (*program.Program, error)
+	// EngineFactory, when non-nil, replaces trace.New as the execution
+	// engine over a loaded image (the microservice suite substitutes its
+	// open-loop interleaver here).
+	EngineFactory func(ld *loader.Loaded, seed uint64) Engine
 }
 
 // Names returns all workload names in the paper's figure order.
@@ -57,8 +80,24 @@ func base(name string, seed uint64) program.Config {
 	return cfg
 }
 
-// Get returns the workload preset by name.
+// Get returns the workload preset by name: a builtin paper preset, or
+// a registered extension workload.
 func Get(name string) (Workload, error) {
+	if w, err := builtin(name); err == nil {
+		return w, nil
+	}
+	regMu.RLock()
+	w, ok := registry[name]
+	regMu.RUnlock()
+	if ok {
+		return w, nil
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q (known: %s)",
+		name, joinNames(AllSorted()))
+}
+
+// builtin returns the paper's workload presets by name.
+func builtin(name string) (Workload, error) {
 	switch name {
 	case "beego":
 		// Full-featured Go web framework: rich middleware pipeline.
@@ -204,7 +243,66 @@ func Get(name string) (Workload, error) {
 		}
 		return Workload{Name: name, Config: cfg, TraceSeed: seed}, nil
 	}
-	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+	return Workload{}, fmt.Errorf("workloads: unknown builtin workload %q", name)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Workload{}
+)
+
+// Register adds a workload preset to the registry, making it reachable
+// by name through Get/Build and therefore through every harness,
+// service, fleet and trace path. Builtin names and duplicates are
+// rejected.
+func Register(w Workload) error {
+	if w.Name == "" {
+		return fmt.Errorf("workloads: cannot register a workload without a name")
+	}
+	if _, err := builtin(w.Name); err == nil {
+		return fmt.Errorf("workloads: %q collides with a builtin workload", w.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[w.Name]; dup {
+		return fmt.Errorf("workloads: %q is already registered", w.Name)
+	}
+	registry[w.Name] = w
+	return nil
+}
+
+// Registered returns the registered (non-builtin) workload names,
+// sorted — never in map iteration order, so -list output and error
+// messages are stable across processes.
+func Registered() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// AllSorted returns every known workload name — the paper's eleven plus
+// everything registered — sorted alphabetically.
+func AllSorted() []string {
+	all := append(Names(), Registered()...)
+	sort.Strings(all)
+	return all
+}
+
+// joinNames renders a name list for error messages.
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
 }
 
 // Built is a generated, linked, loadable workload.
@@ -216,8 +314,18 @@ type Built struct {
 
 // NewEngine creates a fresh deterministic execution engine for the
 // workload (same stream every call).
-func (b *Built) NewEngine() *trace.Engine {
-	return trace.New(b.Loaded, b.Workload.TraceSeed)
+func (b *Built) NewEngine() Engine {
+	return b.EngineOver(b.Loaded)
+}
+
+// EngineOver creates the workload's engine over an alternative loaded
+// image (e.g. the fault-degraded loader path), honouring the workload's
+// engine factory.
+func (b *Built) EngineOver(ld *loader.Loaded) Engine {
+	if b.Workload.EngineFactory != nil {
+		return b.Workload.EngineFactory(ld, b.Workload.TraceSeed)
+	}
+	return trace.New(ld, b.Workload.TraceSeed)
 }
 
 var (
@@ -237,7 +345,11 @@ func Build(name string) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := program.Generate(w.Config)
+	gen := w.Generator
+	if gen == nil {
+		gen = func() (*program.Program, error) { return program.Generate(w.Config) }
+	}
+	p, err := gen()
 	if err != nil {
 		return nil, fmt.Errorf("workloads %s: %w", name, err)
 	}
