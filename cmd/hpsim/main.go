@@ -16,6 +16,7 @@
 //	hpsim -workload gin -record gin.hpt      # capture a replayable trace
 //	hpsim -workload gin -replay gin.hpt      # simulate from the trace
 //	hpsim -experiment fig9 -tracedir traces/ # replay-backed experiment
+//	hpsim -workload gin -sample 50000,100000,800000  # interval-sampled run
 //	hpsim -sweep -workloads gin,echo -schemes FDIP,Hierarchical -quick
 //
 // -sweep renders the same workload × scheme IPC table a fleet
@@ -55,6 +56,7 @@ func main() {
 		faultSpec  = flag.String("fault", "", "inject a fault: class[:rate[:seed]] with class in "+strings.Join(hprefetch.FaultClasses(), ", "))
 		parallel   = flag.Int("parallel", 1, "concurrent simulations for experiment sweeps (tables stay byte-identical to a serial run)")
 		digest     = flag.Bool("digest", false, "print stable result fingerprints instead of full output (reproducibility checks)")
+		sample     = flag.String("sample", "", "interval sampling spec warm,measure,skip[,seed] in instructions (empty = exact simulation)")
 		record     = flag.String("record", "", "capture -workload's event stream to this trace file instead of simulating")
 		replay     = flag.String("replay", "", "replay the event stream from this recorded trace instead of running live")
 		tracedir   = flag.String("tracedir", "", "replay workloads with a trace at <dir>/<workload>.hpt, run the rest live")
@@ -86,6 +88,7 @@ func main() {
 		Parallel:            *parallel,
 		ReplayTrace:         *replay,
 		TraceDir:            *tracedir,
+		Sample:              *sample,
 	}
 	if *only != "" {
 		opt.Workloads = strings.Split(*only, ",")
@@ -126,6 +129,10 @@ func main() {
 		if *faultSpec != "" {
 			fmt.Printf("faults:    %s  (loader tag drops %d, bundle rejects %d)\n",
 				*faultSpec, st.TagDrops, st.BundleRejects)
+		}
+		if st.SampleIntervals > 0 {
+			fmt.Printf("sampling:  %d intervals, IPC %.3f ± %.3f, %.0f%% detailed\n",
+				st.SampleIntervals, st.SampleIPCMean, st.SampleIPCStdErr, st.SampleDetailedFrac*100)
 		}
 		fmt.Printf("branches:  %.2f MPKI   L1-I clean misses: %.2f MPKI\n", st.BranchMPKI, st.L1IMPKI)
 		if st.Scheme != hprefetch.FDIP && st.Scheme != hprefetch.PerfectL1I {

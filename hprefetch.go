@@ -94,6 +94,14 @@ type Options struct {
 	// recorded trace at <TraceDir>/<workload>.hpt replay from it, the
 	// rest run live.
 	TraceDir string
+	// Sample enables interval sampling instead of exact measurement,
+	// specified as "warm,measure,skip[,seed]" in instructions — e.g.
+	// "50000,100000,800000". The measure window is covered by detailed
+	// intervals of warm+measure instructions separated by functionally
+	// warmed skips averaging skip instructions, trading exactness for a
+	// large speedup; RunStats reports the per-interval IPC spread.
+	// Incompatible with trace recording. Empty means exact simulation.
+	Sample string
 }
 
 // parallel resolves the configured sweep width.
@@ -141,6 +149,13 @@ func (o *Options) runConfig() (harness.RunConfig, error) {
 	}
 	rc.TracePath = o.ReplayTrace
 	rc.TraceDir = o.TraceDir
+	if o.Sample != "" {
+		sp, err := harness.ParseSampleSpec(o.Sample)
+		if err != nil {
+			return rc, err
+		}
+		rc.Sample = sp
+	}
 	return rc, nil
 }
 
@@ -180,6 +195,16 @@ type RunStats struct {
 	// digests differing means behaviour changed (see EXPERIMENTS.md,
 	// "Determinism and digests").
 	StatsDigest string
+	// SampleIntervals, SampleIPCMean, SampleIPCStdErr and
+	// SampleDetailedFrac describe an interval-sampled run
+	// (Options.Sample): how many detailed intervals were measured, the
+	// unweighted mean and standard error of their per-interval IPCs
+	// (the error bar on IPC), and the fraction of simulated
+	// instructions that ran in detailed mode. Zero for exact runs.
+	SampleIntervals    int
+	SampleIPCMean      float64
+	SampleIPCStdErr    float64
+	SampleDetailedFrac float64
 }
 
 // Simulate runs one workload under one scheme and returns its metrics.
@@ -208,6 +233,12 @@ func Simulate(workload string, scheme Scheme, opt *Options) (RunStats, error) {
 		TagDrops:            r.TagDrops,
 		BundleRejects:       r.BundleRejects,
 		StatsDigest:         r.Stats.Digest(),
+	}
+	if r.Sample != nil {
+		out.SampleIntervals = r.Sample.Intervals
+		out.SampleIPCMean = r.Sample.IPCMean
+		out.SampleIPCStdErr = r.Sample.IPCStdErr
+		out.SampleDetailedFrac = r.Sample.DetailedFrac
 	}
 	if scheme != FDIP {
 		sp, err := harness.Speedup(workload, harness.Scheme(scheme), rc)

@@ -44,13 +44,15 @@ func DefaultConfig() Config {
 type Unit struct {
 	cfg Config
 
-	// BTB: sets x ways of (tag, target, lru).
-	btbSets  int
-	btbTag   []uint64
-	btbTgt   []isa.Addr
-	btbValid []bool
-	btbLRU   []uint8
-	btbInf   map[isa.Addr]isa.Addr
+	// BTB: sets x ways of (tag, target). Valid entries occupy a prefix
+	// of each set in recency order (most recent first, btbCnt per set),
+	// so a hit is found early and the LRU victim is simply the last
+	// entry — observationally identical to explicit per-way age bits.
+	btbSets int
+	btbTag  []uint64
+	btbTgt  []isa.Addr
+	btbCnt  []uint8
+	btbInf  map[isa.Addr]isa.Addr
 
 	// Direction predictor: 2-bit counters indexed by pc ^ history.
 	dir     []uint8
@@ -75,8 +77,7 @@ func New(cfg Config) *Unit {
 		n := u.btbSets * cfg.BTBWays
 		u.btbTag = make([]uint64, n)
 		u.btbTgt = make([]isa.Addr, n)
-		u.btbValid = make([]bool, n)
-		u.btbLRU = make([]uint8, n)
+		u.btbCnt = make([]uint8, u.btbSets)
 	}
 	u.dir = make([]uint8, 1<<cfg.GshareBits)
 	for i := range u.dir {
@@ -146,11 +147,12 @@ func (u *Unit) BTBLookup(pc isa.Addr) (isa.Addr, bool) {
 	set := u.btbSet(pc)
 	base := set * u.cfg.BTBWays
 	tag := u.btbTagOf(pc)
-	for w := 0; w < u.cfg.BTBWays; w++ {
-		i := base + w
-		if u.btbValid[i] && u.btbTag[i] == tag {
+	n := int(u.btbCnt[set])
+	for w := 0; w < n; w++ {
+		if u.btbTag[base+w] == tag {
+			tgt := u.btbTgt[base+w]
 			u.btbTouch(base, w)
-			return u.btbTgt[i], true
+			return tgt, true
 		}
 	}
 	return 0, false
@@ -165,33 +167,23 @@ func (u *Unit) BTBInsert(pc, target isa.Addr) {
 	set := u.btbSet(pc)
 	base := set * u.cfg.BTBWays
 	tag := u.btbTagOf(pc)
-	victim := 0
-	for w := 0; w < u.cfg.BTBWays; w++ {
-		i := base + w
-		if u.btbValid[i] && u.btbTag[i] == tag {
-			u.btbTgt[i] = target
+	n := int(u.btbCnt[set])
+	for w := 0; w < n; w++ {
+		if u.btbTag[base+w] == tag {
+			u.btbTgt[base+w] = target
 			u.btbTouch(base, w)
 			return
 		}
-		if u.btbLRU[i] > u.btbLRU[base+victim] {
-			victim = w
-		}
 	}
-	for w := 0; w < u.cfg.BTBWays; w++ {
-		if !u.btbValid[base+w] {
-			victim = w
-			break
-		}
+	if n == u.cfg.BTBWays {
+		n-- // evict the last (least recently used) entry
+	} else {
+		u.btbCnt[set]++
 	}
-	i := base + victim
-	if !u.btbValid[i] {
-		// Fresh fills count as oldest so LRU aging stays a permutation.
-		u.btbLRU[i] = 255
-	}
-	u.btbTag[i] = tag
-	u.btbTgt[i] = target
-	u.btbValid[i] = true
-	u.btbTouch(base, victim)
+	copy(u.btbTag[base+1:base+n+1], u.btbTag[base:base+n])
+	copy(u.btbTgt[base+1:base+n+1], u.btbTgt[base:base+n])
+	u.btbTag[base] = tag
+	u.btbTgt[base] = target
 }
 
 func (u *Unit) btbSet(pc isa.Addr) int {
@@ -201,16 +193,17 @@ func (u *Unit) btbSet(pc isa.Addr) int {
 
 func (u *Unit) btbTagOf(pc isa.Addr) uint64 { return uint64(pc) >> 2 }
 
-// btbTouch maintains per-set LRU ordering: the touched way gets age 0,
-// everyone younger ages by one.
+// btbTouch moves the hit way to the front of its set's recency prefix.
 func (u *Unit) btbTouch(base, way int) {
-	old := u.btbLRU[base+way]
-	for w := 0; w < u.cfg.BTBWays; w++ {
-		if u.btbLRU[base+w] < old {
-			u.btbLRU[base+w]++
-		}
+	if way == 0 {
+		return
 	}
-	u.btbLRU[base+way] = 0
+	t := u.btbTag[base+way]
+	g := u.btbTgt[base+way]
+	copy(u.btbTag[base+1:base+way+1], u.btbTag[base:base+way])
+	copy(u.btbTgt[base+1:base+way+1], u.btbTgt[base:base+way])
+	u.btbTag[base] = t
+	u.btbTgt[base] = g
 }
 
 // PredictIndirect predicts an indirect branch target using path history.

@@ -9,6 +9,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"hprefetch/internal/isa"
 )
@@ -64,13 +65,22 @@ func (c Config) SizeBlocks() int { return c.Sets * c.Ways }
 
 // Table is a set-associative LRU table keyed by a 64-bit key (cache block
 // index or page number).
+//
+// Each set stores its resident lines as a recency-ordered prefix of the
+// set's way slots: keys[base] is the MRU line, keys[base+cnt-1] the LRU
+// one, and slots past cnt are empty. This move-to-front layout is
+// observationally identical to a per-line LRU age field (the ages such a
+// scheme maintains are exactly the recency ranks this layout stores
+// positionally) but makes the two hottest operations cheap: lookups
+// usually find their line in the first way or two, and refreshing
+// recency is a short prefix rotate instead of a full-set age walk.
 type Table struct {
-	cfg   Config
-	mask  uint64
-	keys  []uint64
-	valid []bool
-	age   []uint8 // per-set LRU age; 0 = most recent
-	meta  []LineMeta
+	cfg  Config
+	mask uint64
+	ways int
+	keys []uint64
+	meta []LineMeta
+	cnt  []uint8 // per-set occupancy (valid lines form a prefix)
 
 	// Hits and Misses count Lookup outcomes.
 	Hits, Misses uint64
@@ -86,31 +96,30 @@ func New(cfg Config) (*Table, error) {
 	}
 	n := cfg.Sets * cfg.Ways
 	return &Table{
-		cfg:   cfg,
-		mask:  uint64(cfg.Sets - 1),
-		keys:  make([]uint64, n),
-		valid: make([]bool, n),
-		age:   make([]uint8, n),
-		meta:  make([]LineMeta, n),
+		cfg:  cfg,
+		mask: uint64(cfg.Sets - 1),
+		ways: cfg.Ways,
+		keys: make([]uint64, n),
+		meta: make([]LineMeta, n),
+		cnt:  make([]uint8, cfg.Sets),
 	}, nil
 }
 
 // Config returns the table's configuration.
 func (t *Table) Config() Config { return t.cfg }
 
-func (t *Table) set(key uint64) int { return int(key & t.mask) }
-
 // Lookup probes for key; on a hit it refreshes LRU, counts the hit, and
-// returns a pointer to the line's metadata (valid until the next Insert
-// into the same set).
+// returns a pointer to the line's metadata (valid until the next
+// operation on the same set).
 func (t *Table) Lookup(key uint64) (*LineMeta, bool) {
-	base := t.set(key) * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		i := base + w
-		if t.valid[i] && t.keys[i] == key {
+	set := key & t.mask
+	base := int(set) * t.ways
+	n := int(t.cnt[set])
+	for w := 0; w < n; w++ {
+		if t.keys[base+w] == key {
 			t.touch(base, w)
 			t.Hits++
-			return &t.meta[i], true
+			return &t.meta[base], true
 		}
 	}
 	t.Misses++
@@ -119,23 +128,26 @@ func (t *Table) Lookup(key uint64) (*LineMeta, bool) {
 
 // Contains probes without touching LRU or counting statistics.
 func (t *Table) Contains(key uint64) bool {
-	base := t.set(key) * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		i := base + w
-		if t.valid[i] && t.keys[i] == key {
+	set := key & t.mask
+	base := int(set) * t.ways
+	n := int(t.cnt[set])
+	for w := 0; w < n; w++ {
+		if t.keys[base+w] == key {
 			return true
 		}
 	}
 	return false
 }
 
-// Peek returns the metadata without touching LRU or statistics.
+// Peek returns the metadata without touching LRU or statistics. The
+// pointer is valid until the next operation on the same set.
 func (t *Table) Peek(key uint64) (*LineMeta, bool) {
-	base := t.set(key) * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		i := base + w
-		if t.valid[i] && t.keys[i] == key {
-			return &t.meta[i], true
+	set := key & t.mask
+	base := int(set) * t.ways
+	n := int(t.cnt[set])
+	for w := 0; w < n; w++ {
+		if t.keys[base+w] == key {
+			return &t.meta[base+w], true
 		}
 	}
 	return nil, false
@@ -147,74 +159,66 @@ func (t *Table) Peek(key uint64) (*LineMeta, bool) {
 // Used bit survives the refresh — a re-install must not strip usefulness
 // credit already earned by a demand hit.
 func (t *Table) Insert(key uint64, meta LineMeta) (evictedKey uint64, evictedMeta LineMeta, evicted bool) {
-	base := t.set(key) * t.cfg.Ways
-	victim := 0
-	for w := 0; w < t.cfg.Ways; w++ {
-		i := base + w
-		if t.valid[i] && t.keys[i] == key {
-			meta.Used = meta.Used || t.meta[i].Used
-			t.meta[i] = meta
+	set := key & t.mask
+	base := int(set) * t.ways
+	n := int(t.cnt[set])
+	for w := 0; w < n; w++ {
+		if t.keys[base+w] == key {
+			meta.Used = meta.Used || t.meta[base+w].Used
+			t.meta[base+w] = meta
 			t.touch(base, w)
 			return 0, LineMeta{}, false
 		}
-		if !t.valid[i] {
-			victim = w
-		} else if t.valid[base+victim] && t.age[i] > t.age[base+victim] {
-			victim = w
-		}
 	}
-	// Prefer an invalid way if any exists.
-	for w := 0; w < t.cfg.Ways; w++ {
-		if !t.valid[base+w] {
-			victim = w
-			break
-		}
-	}
-	i := base + victim
-	if t.valid[i] {
-		evictedKey, evictedMeta, evicted = t.keys[i], t.meta[i], true
+	if n == t.ways {
+		// Set full: the LRU line (last in recency order) is displaced.
+		evictedKey, evictedMeta, evicted = t.keys[base+n-1], t.meta[base+n-1], true
+		n--
 	} else {
-		// A fresh fill has no meaningful age yet; treat it as oldest so
-		// every other way ages correctly in touch.
-		t.age[i] = 255
+		t.cnt[set]++
 	}
-	t.keys[i] = key
-	t.valid[i] = true
-	t.meta[i] = meta
-	t.touch(base, victim)
+	// Shift the survivors down one slot and install at the MRU front.
+	copy(t.keys[base+1:base+n+1], t.keys[base:base+n])
+	copy(t.meta[base+1:base+n+1], t.meta[base:base+n])
+	t.keys[base] = key
+	t.meta[base] = meta
 	return evictedKey, evictedMeta, evicted
 }
 
 // Invalidate removes key if present, returning its metadata.
 func (t *Table) Invalidate(key uint64) (LineMeta, bool) {
-	base := t.set(key) * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		i := base + w
-		if t.valid[i] && t.keys[i] == key {
-			t.valid[i] = false
-			return t.meta[i], true
+	set := key & t.mask
+	base := int(set) * t.ways
+	n := int(t.cnt[set])
+	for w := 0; w < n; w++ {
+		if t.keys[base+w] == key {
+			meta := t.meta[base+w]
+			copy(t.keys[base+w:base+n-1], t.keys[base+w+1:base+n])
+			copy(t.meta[base+w:base+n-1], t.meta[base+w+1:base+n])
+			t.cnt[set]--
+			return meta, true
 		}
 	}
 	return LineMeta{}, false
 }
 
-// touch sets way as most-recent within its set.
+// touch moves the line at way to the MRU front of its set by rotating
+// the prefix above it down one slot.
 func (t *Table) touch(base, way int) {
-	old := t.age[base+way]
-	for w := 0; w < t.cfg.Ways; w++ {
-		if t.age[base+w] < old {
-			t.age[base+w]++
-		}
+	if way == 0 {
+		return
 	}
-	t.age[base+way] = 0
+	k := t.keys[base+way]
+	m := t.meta[base+way]
+	copy(t.keys[base+1:base+way+1], t.keys[base:base+way])
+	copy(t.meta[base+1:base+way+1], t.meta[base:base+way])
+	t.keys[base] = k
+	t.meta[base] = m
 }
 
 // Reset clears contents and statistics.
 func (t *Table) Reset() {
-	for i := range t.valid {
-		t.valid[i] = false
-		t.age[i] = 0
-	}
+	clear(t.cnt)
 	t.Hits, t.Misses = 0, 0
 }
 
@@ -238,12 +242,15 @@ type MSHR struct {
 // path, steady-state operation never allocates, and (unlike a Go map)
 // every traversal order is deterministic: Drain retires completed fills
 // in (FillAt, Block) order, so downstream L1-I install and eviction
-// order is identical on every run of the same trace.
+// order is identical on every run of the same trace. Occupancy is kept
+// as a bitmask so probes walk only the live entries (typically a small
+// fraction of capacity) in ascending slot order, instead of scanning
+// the whole backing array.
 type MSHRFile struct {
-	entries []MSHR // fixed backing store, len == capacity
-	live    []bool // live[i]: entries[i] tracks an in-flight fill
-	n       int    // current occupancy
-	drain   []MSHR // scratch for Drain, reused across calls
+	entries []MSHR   // fixed backing store, len == capacity
+	live    []uint64 // occupancy bitmask, bit i: entries[i] is in flight
+	n       int      // current occupancy
+	drain   []MSHR   // scratch for Drain, reused across calls
 }
 
 // NewMSHRFile builds a file with the given capacity.
@@ -253,7 +260,7 @@ func NewMSHRFile(capacity int) *MSHRFile {
 	}
 	return &MSHRFile{
 		entries: make([]MSHR, capacity),
-		live:    make([]bool, capacity),
+		live:    make([]uint64, (capacity+63)/64),
 		drain:   make([]MSHR, 0, capacity),
 	}
 }
@@ -262,9 +269,13 @@ func NewMSHRFile(capacity int) *MSHRFile {
 // aims into the file's backing store: it is valid until the entry is
 // removed (or drained) and its slot reused by a later Add.
 func (m *MSHRFile) Lookup(b isa.Block) (*MSHR, bool) {
-	for i := range m.entries {
-		if m.live[i] && m.entries[i].Block == b {
-			return &m.entries[i], true
+	for wi, word := range m.live {
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if m.entries[i].Block == b {
+				return &m.entries[i], true
+			}
 		}
 	}
 	return nil, false
@@ -293,18 +304,23 @@ func (m *MSHRFile) Add(e *MSHR) error {
 	if m.Full() {
 		return fmt.Errorf("%w (cap %d, block %#x)", ErrMSHROverflow, len(m.entries), uint64(e.Block))
 	}
+	if _, dup := m.Lookup(e.Block); dup {
+		return fmt.Errorf("%w (block %#x)", ErrMSHRDuplicate, uint64(e.Block))
+	}
+	// Lowest free slot (matches the old first-free linear scan).
 	free := -1
-	for i := range m.entries {
-		if !m.live[i] {
-			if free < 0 {
-				free = i
-			}
-		} else if m.entries[i].Block == e.Block {
-			return fmt.Errorf("%w (block %#x)", ErrMSHRDuplicate, uint64(e.Block))
+	for wi, word := range m.live {
+		if hole := ^word; hole != 0 {
+			free = wi<<6 + bits.TrailingZeros64(hole)
+			break
 		}
 	}
+	if free < 0 || free >= len(m.entries) {
+		// Unreachable given the Full check, but stay safe.
+		return fmt.Errorf("%w (cap %d, block %#x)", ErrMSHROverflow, len(m.entries), uint64(e.Block))
+	}
 	m.entries[free] = *e
-	m.live[free] = true
+	m.live[free>>6] |= 1 << uint(free&63)
 	m.n++
 	return nil
 }
@@ -313,11 +329,15 @@ func (m *MSHRFile) Add(e *MSHR) error {
 // place until a later Add reuses it, so a pointer obtained from Lookup
 // just before Remove still reads the removed entry's fields.
 func (m *MSHRFile) Remove(b isa.Block) {
-	for i := range m.entries {
-		if m.live[i] && m.entries[i].Block == b {
-			m.live[i] = false
-			m.n--
-			return
+	for wi, word := range m.live {
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if m.entries[i].Block == b {
+				m.live[wi] &^= 1 << uint(i&63)
+				m.n--
+				return
+			}
 		}
 	}
 }
@@ -329,11 +349,15 @@ func (m *MSHRFile) Remove(b isa.Block) {
 // are deallocated before the first callback, so fn may Add.
 func (m *MSHRFile) Drain(now uint64, fn func(*MSHR)) {
 	done := m.drain[:0]
-	for i := range m.entries {
-		if m.live[i] && m.entries[i].FillAt <= now {
-			m.live[i] = false
-			m.n--
-			done = append(done, m.entries[i])
+	for wi, word := range m.live {
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if m.entries[i].FillAt <= now {
+				m.live[wi] &^= 1 << uint(i&63)
+				m.n--
+				done = append(done, m.entries[i])
+			}
 		}
 	}
 	// Insertion sort: the file holds a handful of entries and completed

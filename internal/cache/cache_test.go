@@ -104,26 +104,29 @@ func TestInsertRefreshPreservesUsed(t *testing.T) {
 	}
 }
 
-// TestInsertVictimTieBreaks pins the deterministic victim choice when
-// several ways are equally eligible: fills take the lowest-index invalid
-// way, and equal-age LRU ties evict the lowest-index way.
-func TestInsertVictimTieBreaks(t *testing.T) {
+// TestInsertVictimDeterminism pins the deterministic victim choice:
+// fills into a non-full set never evict, and a full set always evicts
+// the least-recently-touched line — the recency order is total, so
+// there is no tie to break and every process picks the same victim.
+func TestInsertVictimDeterminism(t *testing.T) {
 	c := mustNew(t, Config{Name: "t", Sets: 1, Ways: 4})
-	c.Insert(10, LineMeta{})
-	c.Insert(20, LineMeta{})
-	if c.keys[0] != 10 || c.keys[1] != 20 || c.valid[2] || c.valid[3] {
-		t.Fatalf("invalid-way fills not lowest-index-first: keys=%v valid=%v", c.keys, c.valid)
+	for _, k := range []uint64{10, 20, 30, 40} {
+		if _, _, ev := c.Insert(k, LineMeta{}); ev {
+			t.Fatalf("fill of %d into non-full set evicted", k)
+		}
 	}
-	c.Insert(30, LineMeta{})
-	c.Insert(40, LineMeta{})
-	// Force an exact age tie across all valid ways; the eviction must
-	// deterministically take way 0.
-	for w := 0; w < 4; w++ {
-		c.age[w] = 7
-	}
+	// Recency now 40>30>20>10; touch 10 and 30, leaving 20 as LRU.
+	c.Lookup(10)
+	c.Lookup(30)
 	k, _, ev := c.Insert(99, LineMeta{})
-	if !ev || k != 10 {
-		t.Errorf("equal-age eviction took %d (evicted=%v), want way-0 key 10", k, ev)
+	if !ev || k != 20 {
+		t.Errorf("eviction took %d (evicted=%v), want LRU key 20", k, ev)
+	}
+	// The survivors and the new line are all resident.
+	for _, want := range []uint64{10, 30, 40, 99} {
+		if !c.Contains(want) {
+			t.Errorf("key %d missing after eviction", want)
+		}
 	}
 }
 

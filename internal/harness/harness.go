@@ -93,6 +93,13 @@ type RunConfig struct {
 	// faults perturb the stream itself).
 	RecordPath string
 
+	// Sample enables interval-sampled simulation over the same stream
+	// extent as an exact run: the warm-up and inter-interval gaps
+	// advance functionally and only short intervals are timed. Results
+	// are approximate (Result.Sample carries the error bars) but
+	// deterministic. The zero value runs the exact protocol.
+	Sample SampleSpec
+
 	// Ctx, when non-nil, bounds every run performed under this
 	// configuration: cancellation or deadline expiry stops the
 	// simulator's cycle loop cooperatively. It rides inside the config
@@ -148,6 +155,9 @@ type Result struct {
 	// TagDrops counts tagged addresses the loader discarded (faulted
 	// runs only).
 	TagDrops int
+	// Sample holds the interval-sampling report (coverage and IPC error
+	// bars) for sampled runs; nil for exact runs.
+	Sample *SampleReport
 }
 
 // key builds the memoisation key for a run.
@@ -157,6 +167,7 @@ func (rc *RunConfig) key(workload string, scheme Scheme) string {
 		rc.WarmInstr, rc.MeasureInstr, rc.ManaLookahead, rc.EFetchLookahead, rc.TrackBundles)
 	fmt.Fprintf(h, "|%s|%g|%d", rc.Fault.Class, rc.Fault.Rate, rc.Fault.Seed)
 	fmt.Fprintf(h, "|%s|%s|%s", rc.TracePath, rc.TraceDir, rc.RecordPath)
+	fmt.Fprintf(h, "|%d|%d|%d|%d", rc.Sample.WarmInstr, rc.Sample.MeasureInstr, rc.Sample.SkipInstr, rc.Sample.Seed)
 	fmt.Fprintf(h, "%+v", rc.Params)
 	if rc.HierConfig != nil {
 		fmt.Fprintf(h, "%+v", *rc.HierConfig)
@@ -236,6 +247,9 @@ func RecordTrace(workload, path string, rc RunConfig) (tracefile.Summary, error)
 	if rc.Fault.Enabled() {
 		return tracefile.Summary{}, fmt.Errorf("harness: recording %s: traces capture the clean stream; fault injection is not recordable", workload)
 	}
+	if rc.Sample.Enabled() {
+		return tracefile.Summary{}, fmt.Errorf("harness: recording %s: a sampled run covers only part of the stream; record exact, then sample the replay", workload)
+	}
 	built, err := workloads.Build(workload)
 	if err != nil {
 		return tracefile.Summary{}, err
@@ -274,6 +288,9 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 	}
 	if tracePath != "" && rc.RecordPath != "" {
 		return nil, fmt.Errorf("harness: %s/%s: trace replay and recording are mutually exclusive", workload, scheme)
+	}
+	if rc.RecordPath != "" && rc.Sample.Enabled() {
+		return nil, fmt.Errorf("harness: %s/%s: a sampled run covers only part of the stream; record exact, then sample the replay", workload, scheme)
 	}
 	if (tracePath != "" || rc.RecordPath != "") && rc.Fault.Enabled() {
 		return nil, fmt.Errorf("harness: %s/%s: trace replay/recording cannot be combined with fault injection", workload, scheme)
@@ -371,6 +388,21 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		m.SetPrefetcher(hier)
 	default:
 		return nil, fmt.Errorf("harness: unknown scheme %q", scheme)
+	}
+	if rc.Sample.Enabled() {
+		if rec != nil {
+			return nil, fmt.Errorf("harness: %s/%s: sampled runs cannot record traces (skipped sections never reach the recorder correctly)", workload, scheme)
+		}
+		agg, rep, err := runSampled(m, rc)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%s sampled: %w", workload, scheme, err)
+		}
+		res = &Result{Stats: agg, Sample: rep, TagDrops: ld.TagDrops}
+		if hier != nil {
+			res.Bundle = hier.BundleSummary()
+			res.BundleRejects = hier.Counters.BundleRejects
+		}
+		return res, nil
 	}
 	if err := m.Run(rc.WarmInstr); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s warmup: %w", workload, scheme, err)

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hprefetch/internal/sim"
+)
+
+// SampleSpec configures interval (SMARTS-style) sampled simulation.
+// Instead of timing every instruction of the measure window, the run
+// tiles it with [skip, warm, measure] intervals: the skip advances the
+// stream functionally (caches, BTB and predictors stay warm, no cycles
+// accrue), the warm re-heats timed state the functional skip cannot
+// (in-flight fills, prefetcher timing), and only the measure section
+// contributes statistics. The zero value disables sampling.
+type SampleSpec struct {
+	// WarmInstr is the detailed (timed, unmeasured) warm-up before each
+	// measured interval.
+	WarmInstr uint64
+	// MeasureInstr is the measured instructions per interval; zero
+	// disables sampling.
+	MeasureInstr uint64
+	// SkipInstr is the mean functionally-skipped instructions before
+	// each interval. Actual skips are jittered uniformly in
+	// [SkipInstr/2, 3*SkipInstr/2] by a PRNG seeded with Seed, so the
+	// sample points cannot phase-lock with program periodicity.
+	SkipInstr uint64
+	// Seed drives the skip-jitter schedule (deterministic per seed).
+	Seed int64
+}
+
+// Enabled reports whether the spec requests sampling.
+func (sp SampleSpec) Enabled() bool { return sp.MeasureInstr > 0 }
+
+// String renders the spec in the "warm,measure,skip[,seed]" form
+// ParseSampleSpec accepts.
+func (sp SampleSpec) String() string {
+	if sp.Seed != 0 {
+		return fmt.Sprintf("%d,%d,%d,%d", sp.WarmInstr, sp.MeasureInstr, sp.SkipInstr, sp.Seed)
+	}
+	return fmt.Sprintf("%d,%d,%d", sp.WarmInstr, sp.MeasureInstr, sp.SkipInstr)
+}
+
+// ParseSampleSpec parses "warm,measure,skip[,seed]" (instruction
+// counts) into a SampleSpec. An empty string disables sampling.
+func ParseSampleSpec(s string) (SampleSpec, error) {
+	var sp SampleSpec
+	if s == "" {
+		return sp, nil
+	}
+	n, err := fmt.Sscanf(s, "%d,%d,%d,%d", &sp.WarmInstr, &sp.MeasureInstr, &sp.SkipInstr, &sp.Seed)
+	if err != nil && n < 3 {
+		return SampleSpec{}, fmt.Errorf("harness: sample spec %q: want warm,measure,skip[,seed]", s)
+	}
+	if sp.MeasureInstr == 0 {
+		return SampleSpec{}, fmt.Errorf("harness: sample spec %q: measure interval must be positive", s)
+	}
+	return sp, nil
+}
+
+// SampleReport describes how a sampled run covered the stream and the
+// spread of its per-interval IPC — the error bars around the aggregate.
+type SampleReport struct {
+	// Intervals is how many measured intervals ran.
+	Intervals int
+	// IPCMean and IPCStdErr are the mean and standard error of the
+	// per-interval IPC values (the aggregate Stats weight intervals by
+	// cycles; these treat them equally, which is what the error bar on
+	// a sampled estimate means).
+	IPCMean, IPCStdErr float64
+	// DetailedFrac is the fraction of covered stream instructions that
+	// were simulated in detail (warm + measure over total) — the
+	// inverse of the sampling speedup ceiling.
+	DetailedFrac float64
+}
+
+// sampleSkips returns the deterministic jittered skip schedule for a
+// spec over a measure window: one skip length per interval that fits.
+// Exposed to tests as the fixture for schedule determinism.
+func sampleSkips(sp SampleSpec, measure uint64) []uint64 {
+	prng := rand.New(rand.NewSource(sp.Seed))
+	var skips []uint64
+	var covered uint64
+	for {
+		var k uint64
+		if sp.SkipInstr > 0 {
+			k = sp.SkipInstr/2 + uint64(prng.Int63n(int64(sp.SkipInstr)+1))
+		}
+		need := k + sp.WarmInstr + sp.MeasureInstr
+		if covered+need > measure {
+			return skips
+		}
+		skips = append(skips, k)
+		covered += need
+	}
+}
+
+// runSampled drives the interval-sampling protocol on a prepared
+// machine: the run-level warm-up is skipped functionally, then
+// [skip, warm, measure] intervals tile the measure window (never
+// consuming more stream than the exact protocol would, so any trace
+// long enough for an exact run replays sampled too). It returns the
+// aggregate of the measured intervals' statistics and the report.
+func runSampled(m *sim.Machine, rc RunConfig) (*sim.Stats, *SampleReport, error) {
+	sp := rc.Sample
+	skips := sampleSkips(sp, rc.MeasureInstr)
+	if len(skips) == 0 {
+		return nil, nil, fmt.Errorf("harness: sample interval (%d skip + %d warm + %d measure) does not fit in the %d-instruction measure window",
+			sp.SkipInstr, sp.WarmInstr, sp.MeasureInstr, rc.MeasureInstr)
+	}
+	if err := m.SkipFunctional(rc.WarmInstr); err != nil {
+		return nil, nil, fmt.Errorf("functional warmup: %w", err)
+	}
+	agg := sim.NewStats()
+	ipcs := make([]float64, 0, len(skips))
+	for _, k := range skips {
+		if k > 0 {
+			if err := m.SkipFunctional(k); err != nil {
+				return nil, nil, fmt.Errorf("interval %d skip: %w", len(ipcs), err)
+			}
+		}
+		if sp.WarmInstr > 0 {
+			if err := m.Run(sp.WarmInstr); err != nil {
+				return nil, nil, fmt.Errorf("interval %d warmup: %w", len(ipcs), err)
+			}
+		}
+		m.ResetStats()
+		if err := m.Run(sp.MeasureInstr); err != nil {
+			return nil, nil, fmt.Errorf("interval %d measure: %w", len(ipcs), err)
+		}
+		agg.AddFrom(m.Stats())
+		ipcs = append(ipcs, m.Stats().IPC())
+	}
+	rep := &SampleReport{Intervals: len(ipcs)}
+	var sum float64
+	for _, v := range ipcs {
+		sum += v
+	}
+	rep.IPCMean = sum / float64(len(ipcs))
+	if len(ipcs) > 1 {
+		var ss float64
+		for _, v := range ipcs {
+			d := v - rep.IPCMean
+			ss += d * d
+		}
+		rep.IPCStdErr = math.Sqrt(ss/float64(len(ipcs)-1)) / math.Sqrt(float64(len(ipcs)))
+	}
+	detailed := uint64(len(ipcs)) * (sp.WarmInstr + sp.MeasureInstr)
+	var skipped uint64
+	for _, k := range skips {
+		skipped += k
+	}
+	total := rc.WarmInstr + detailed + skipped
+	if total > 0 {
+		rep.DetailedFrac = float64(detailed) / float64(total)
+	}
+	return agg, rep, nil
+}

@@ -1,10 +1,7 @@
 package harness
 
 import (
-	"fmt"
-	"os"
 	"sync"
-	"time"
 
 	"hprefetch/internal/tracefile"
 )
@@ -14,15 +11,15 @@ import (
 // streams the same trace through every scheme of a comparison, and the
 // decode (CRC, inflate, delta reconstruction) is the only part of
 // replay that costs anything. The cache is a small LRU keyed by file
-// identity — path plus size and modification time, so re-recording a
-// trace in place is picked up — and bounded by entry count: traces are
-// a few tens of megabytes decoded, and experiments touch at most a
-// handful of distinct files.
+// identity — path plus the trace's header fingerprint (size + header
+// CRC), so an in-place re-record is picked up even when it lands within
+// one mtime tick on a coarse-timestamp filesystem — and bounded by
+// entry count: traces are a few tens of megabytes decoded, and
+// experiments touch at most a handful of distinct files.
 const traceCacheCap = 4
 
 type traceCacheEntry struct {
-	size   int64
-	mtime  time.Time
+	fp     string // tracefile.HeaderFingerprint at decode time
 	loaded *tracefile.Loaded
 	used   uint64 // LRU clock
 }
@@ -36,14 +33,14 @@ var (
 // loadTrace returns the decoded in-memory form of the trace at path,
 // decoding it on first use.
 func loadTrace(path string) (*tracefile.Loaded, error) {
-	st, err := os.Stat(path)
+	fp, err := tracefile.HeaderFingerprint(path)
 	if err != nil {
-		return nil, fmt.Errorf("tracefile: %w", err)
+		return nil, err
 	}
 
 	traceCacheMu.Lock()
 	traceCacheTick++
-	if e, ok := traceCache[path]; ok && e.size == st.Size() && e.mtime.Equal(st.ModTime()) {
+	if e, ok := traceCache[path]; ok && e.fp == fp {
 		e.used = traceCacheTick
 		l := e.loaded
 		traceCacheMu.Unlock()
@@ -62,7 +59,7 @@ func loadTrace(path string) (*tracefile.Loaded, error) {
 	traceCacheMu.Lock()
 	defer traceCacheMu.Unlock()
 	traceCacheTick++
-	traceCache[path] = &traceCacheEntry{size: st.Size(), mtime: st.ModTime(), loaded: l, used: traceCacheTick}
+	traceCache[path] = &traceCacheEntry{fp: fp, loaded: l, used: traceCacheTick}
 	for len(traceCache) > traceCacheCap {
 		oldPath, oldUsed := "", ^uint64(0)
 		for p, e := range traceCache {

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hprefetch/internal/tracefile"
+	"hprefetch/internal/workloads"
+)
+
+// TestTraceCacheRereadsInPlaceRewrite pins the staleness fix: an
+// in-place re-record of the same byte length whose mtime is forced back
+// to the original's (the collision coarse-timestamp filesystems produce
+// within one tick) must still be decoded fresh, because the cache keys
+// on the trace header fingerprint, not size+mtime.
+func TestTraceCacheRereadsInPlaceRewrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gin"+TraceExt)
+	built, err := workloads.Build("gin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 50_000
+	record := func(seed uint64) {
+		t.Helper()
+		meta := tracefile.Meta{Workload: "gin", Seed: seed, TargetInstructions: target}
+		if _, err := tracefile.Record(path, built.NewEngine(), meta, target, 8, tracefile.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	record(1001)
+	st1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Meta().Seed != 1001 {
+		t.Fatalf("first load has seed %d, want 1001", l1.Meta().Seed)
+	}
+
+	// Rewrite in place: identical engine stream, a different header seed
+	// of the same varint length — the file's byte size does not change —
+	// then force the mtime back so the old size+mtime identity collides.
+	record(1002)
+	if err := os.Chtimes(path, time.Now(), st1.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Size() != st2.Size() {
+		t.Fatalf("fixture no longer collides: sizes %d vs %d", st1.Size(), st2.Size())
+	}
+	if !st1.ModTime().Equal(st2.ModTime()) {
+		t.Fatalf("fixture no longer collides: mtimes %v vs %v", st1.ModTime(), st2.ModTime())
+	}
+
+	l2, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Meta().Seed != 1002 {
+		t.Errorf("stale decode served after in-place rewrite: seed %d, want 1002", l2.Meta().Seed)
+	}
+}

@@ -62,6 +62,11 @@ type RunRequest struct {
 	// only). Plain run/experiment submissions must leave it empty — a
 	// single hpserved names one scheme via Scheme.
 	Schemes []string `json:"schemes,omitempty"`
+	// Sample enables interval-sampled simulation instead of exact
+	// measurement, as "warm,measure,skip[,seed]" in instructions (see
+	// the harness sampling docs). Validated at submission; empty runs
+	// exact.
+	Sample string `json:"sample,omitempty"`
 }
 
 // RunResult summarises a completed simulation for the API.
@@ -83,6 +88,13 @@ type RunResult struct {
 	// requests to any server instance return identical digests, so
 	// clients can verify reproducibility end to end.
 	StatsDigest string `json:"stats_digest"`
+	// Sampled-run metrics (RunRequest.Sample): interval count, mean and
+	// standard error of per-interval IPC, and the detailed-instruction
+	// fraction. Zero/absent for exact runs.
+	SampleIntervals    int     `json:"sample_intervals,omitempty"`
+	SampleIPCMean      float64 `json:"sample_ipc_mean,omitempty"`
+	SampleIPCStdErr    float64 `json:"sample_ipc_stderr,omitempty"`
+	SampleDetailedFrac float64 `json:"sample_detailed_frac,omitempty"`
 }
 
 // TableResult is a rendered experiment table for the API.

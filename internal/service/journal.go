@@ -41,12 +41,13 @@ const journalMagic = 0x4850_4A4C_0001_0001
 
 // journalVersion is the current journal format version. v2 added
 // RunRequest.TracePath to submit records; v3 added RunRequest.Schemes
-// (fleet sweep jobs) and the opAssign backend-assignment record.
-// Decoding is exact-consumption, so journals from other versions are
-// rejected at startup — with an error naming both versions and the
-// remediation — rather than misread (operators drain or delete the old
-// journal before upgrading).
-const journalVersion = 3
+// (fleet sweep jobs) and the opAssign backend-assignment record; v4
+// added RunRequest.Sample (interval-sampled runs). Decoding is
+// exact-consumption, so journals from other versions are rejected at
+// startup — with an error naming both versions and the remediation —
+// rather than misread (operators drain or delete the old journal
+// before upgrading).
+const journalVersion = 4
 
 const journalHeaderSize = 10
 
@@ -243,6 +244,7 @@ func encodeJournalPayload(rec journalRecord) ([]byte, error) {
 		for _, sc := range q.Schemes {
 			w.str(sc)
 		}
+		w.str(q.Sample)
 	case opStart:
 		w.u32(rec.Attempt)
 	case opFinish:
@@ -298,6 +300,7 @@ func decodeJournalPayload(payload []byte) (journalRecord, error) {
 				q.Schemes = append(q.Schemes, r.str())
 			}
 		}
+		q.Sample = r.str()
 	case opStart:
 		rec.Attempt = r.u32()
 	case opFinish:

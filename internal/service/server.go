@@ -546,6 +546,12 @@ func ComputeRunResult(ctx context.Context, workload, scheme string, rc harness.R
 		AvgDistance:      r.Stats.PFAvgDistance(),
 		StatsDigest:      r.Stats.Digest(),
 	}
+	if r.Sample != nil {
+		out.SampleIntervals = r.Sample.Intervals
+		out.SampleIPCMean = r.Sample.IPCMean
+		out.SampleIPCStdErr = r.Sample.IPCStdErr
+		out.SampleDetailedFrac = r.Sample.DetailedFrac
+	}
 	if sc != harness.SchemeFDIP {
 		sp, err := harness.Speedup(workload, sc, rc)
 		if err != nil {
@@ -680,6 +686,13 @@ func (s *Server) buildRunConfig(req *RunRequest) (harness.RunConfig, time.Durati
 			}
 			rc.TracePath = req.TracePath
 		}
+	}
+	if req.Sample != "" {
+		sp, err := harness.ParseSampleSpec(req.Sample)
+		if err != nil {
+			return rc, 0, fmt.Errorf("sample: %w", err)
+		}
+		rc.Sample = sp
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {

@@ -100,6 +100,23 @@ type Machine struct {
 	curDone  bool
 	reqStall map[uint64]uint64
 
+	// srcErr is the source's optional Err method, resolved once at
+	// construction so the run loop's exhaustion path never type-asserts.
+	srcErr func() error
+
+	// Batch fast path (source implements BatchSource): the lookahead
+	// window indexes the decoded arrays directly — bpos is the fetch
+	// cursor, bpos+predOff the prediction cursor, and bpull the pull
+	// high-water (how many events the interface path would have pulled
+	// into its ring), sampled at Run boundaries for Requests parity.
+	bsrc    BatchSource
+	bev     []isa.BlockEvent
+	breq    []uint64
+	bdone   []bool
+	bpos    int
+	bpull   int
+	scratch isa.BlockEvent // fault-injection copy, so flips never touch bev
+
 	// Evaluated-prefetcher request queue: requests park here when the
 	// MSHR file is full and drain as fills complete. Each remembers the
 	// block sequence at request time (the paper measures prefetch
@@ -177,6 +194,13 @@ func New(prm Params, eng EventSource, pf prefetch.Prefetcher) (*Machine, error) 
 		m.ringDone = make([]bool, len(m.ring))
 		m.reqStall = make(map[uint64]uint64)
 	}
+	if es, ok := eng.(interface{ Err() error }); ok {
+		m.srcErr = es.Err
+	}
+	if bs, ok := eng.(BatchSource); ok {
+		m.bsrc = bs
+		m.bev, m.breq, m.bdone = bs.Batch()
+	}
 	return m, nil
 }
 
@@ -236,6 +260,9 @@ func (m *Machine) ResetStats() {
 // stops early and reports the failure if the machine's internal
 // bookkeeping ever breaks (statistics up to that point stay valid).
 func (m *Machine) Run(n uint64) error {
+	if m.bsrc != nil {
+		return m.runBatch(n)
+	}
 	target := m.st.Instructions + n
 	startReq := m.eng.Requests()
 	var ctxErr error
@@ -265,6 +292,197 @@ func (m *Machine) Run(n uint64) error {
 	return ctxErr
 }
 
+// runBatch is Run over a batch source: the identical cycle loop with
+// the lookahead window indexed straight into the decoded event arrays —
+// no per-event interface dispatch, ring copies, or marker lookups. The
+// interface and batch paths are observationally equivalent, so digests
+// never depend on which one ran.
+func (m *Machine) runBatch(n uint64) error {
+	target := m.st.Instructions + n
+	startReq := m.bsrc.BatchRequests(m.bpull)
+	var ctxErr error
+	var steps uint64
+	for m.st.Instructions < target && m.err == nil {
+		if m.ctx != nil && steps%ctxCheckInterval == 0 {
+			if ctxErr = m.ctx.Err(); ctxErr != nil {
+				break
+			}
+		}
+		steps++
+		m.advanceCursorBatch()
+		if m.err != nil {
+			break
+		}
+		// Pop the oldest event in place (popEvent without the ring).
+		if m.bpos >= len(m.bev) {
+			m.batchDry()
+			break
+		}
+		if m.bpos+1 > m.bpull {
+			m.bpull = m.bpos + 1
+		}
+		ev := &m.bev[m.bpos]
+		if m.marker != nil {
+			m.curReq = m.breq[m.bpos]
+			m.curDone = m.bdone[m.bpos]
+		}
+		m.bpos++
+		wasInFTQ := false
+		if m.predOff > 0 {
+			m.predOff--
+			wasInFTQ = true
+		}
+		if m.inj != nil {
+			// fetch may flip the Tagged bit under fault injection; give
+			// it a scratch copy so the shared decoded arrays stay intact.
+			m.scratch = *ev
+			ev = &m.scratch
+		}
+		m.fetch(ev, wasInFTQ)
+	}
+	m.st.Requests += m.bsrc.BatchRequests(m.bpull) - startReq
+	m.st.ScaledCycles = m.now + m.backendExtra - m.statsBase
+	if m.err != nil {
+		return m.err
+	}
+	return ctxErr
+}
+
+// advanceCursorBatch is advanceCursor over the decoded arrays.
+func (m *Machine) advanceCursorBatch() {
+	for m.blocked == notBlocked && m.predOff < m.prm.FTQEntries {
+		if !m.specSynced {
+			m.specHist = m.archHist
+			m.specRAS.CopyFrom(m.archRAS)
+			m.specSynced = true
+		}
+		i := m.bpos + m.predOff
+		if i >= len(m.bev) {
+			m.batchDry()
+			return
+		}
+		if i+1 > m.bpull {
+			m.bpull = i + 1
+		}
+		ev := &m.bev[i]
+		m.predOff++
+		// The branch predictor produces one fetch region per cycle;
+		// FTQ refill after a flush is not instantaneous.
+		if m.cursorClock < m.now {
+			m.cursorClock = m.now
+		}
+		m.cursorClock += CycleScale
+		if !m.prm.DisableFDIP && !m.prm.PerfectL1I {
+			if m.issueFill(ev.Block(), cache.OriginFDIP, m.cursorClock) {
+				m.st.FDIPIssued++
+			}
+		}
+		m.blocked = m.predictSpec(ev)
+	}
+}
+
+// batchDry latches the end-of-stream error exactly as ensure does,
+// first syncing the source cursor so its Instructions/Err report the
+// exhausted position, and raising the pull high-water to the full
+// stream as the interface path's failed pull would.
+func (m *Machine) batchDry() {
+	// The source cursor never moved while the batch path indexed the
+	// arrays; consume the whole view to reach the exhausted position.
+	m.bsrc.BatchConsume(len(m.bev))
+	m.bpos = len(m.bev)
+	m.bpull = len(m.bev)
+	cause := errors.New("event source ran dry")
+	if m.srcErr != nil {
+		if err := m.srcErr(); err != nil {
+			cause = err
+		}
+	}
+	m.fail(fmt.Errorf("sim: event stream ended after %d instructions: %w",
+		m.eng.Instructions(), cause))
+}
+
+// SkipFunctional advances the stream by at least n instructions without
+// timed simulation: every skipped event trains the architectural
+// predictors (BTB, direction, indirect, RAS) and functionally touches
+// the instruction-side hierarchy (ITLB, L1I, L2, LLC with LRU updates),
+// but no cycles, stalls, fills-in-flight, or per-request attribution
+// accrue. Interval (SMARTS-style) sampling alternates SkipFunctional
+// with short timed Run sections; the warm microarchitectural state
+// carries across the skip so each measured interval starts plausibly.
+// Speculative front-end state is squashed and in-flight fills retire
+// instantly at entry; statistics touched during a skip are garbage and
+// callers are expected to ResetStats (after a detailed re-warm) before
+// measuring. It returns the latched source-exhaustion error, if any.
+func (m *Machine) SkipFunctional(n uint64) error {
+	if m.err != nil {
+		return m.err
+	}
+	m.predOff = 0
+	m.blocked = notBlocked
+	m.specSynced = false
+	m.mshr.Drain(^uint64(0), func(e *cache.MSHR) {
+		m.installL1I(e.Block, e.Origin, e.IssueSeq, false)
+	})
+	m.pfQueue = m.pfQueue[:0]
+	if m.marker != nil {
+		// Requests in flight across a skip lose their stall attribution;
+		// dropping them beats mis-charging a later interval.
+		clear(m.reqStall)
+	}
+	var done uint64
+	if m.bsrc != nil {
+		for done < n {
+			if m.bpos >= len(m.bev) {
+				m.batchDry()
+				return m.err
+			}
+			if m.bpos+1 > m.bpull {
+				m.bpull = m.bpos + 1
+			}
+			ev := &m.bev[m.bpos]
+			m.bpos++
+			done += uint64(ev.NumInstr)
+			m.warmEvent(ev)
+		}
+		return nil
+	}
+	for done < n {
+		ev, _ := m.popEvent()
+		if m.err != nil {
+			return m.err
+		}
+		done += uint64(ev.NumInstr)
+		m.warmEvent(&ev)
+	}
+	return nil
+}
+
+// warmEvent functionally touches the instruction-side hierarchy and
+// trains the architectural predictors for one skipped event.
+func (m *Machine) warmEvent(ev *isa.BlockEvent) {
+	blk := ev.Block()
+	if !m.haveLast || blk != m.lastBlock {
+		m.lastBlock = blk
+		m.haveLast = true
+		m.blockSeq++
+		page := uint64(blk.Page())
+		if _, hit := m.itlb.Lookup(page); !hit {
+			m.itlb.Insert(page, cache.LineMeta{})
+		}
+		key := uint64(blk)
+		if _, hit := m.l1i.Lookup(key); !hit {
+			if _, h2 := m.l2.Lookup(key); !h2 {
+				if _, h3 := m.llc.Lookup(key); !h3 {
+					m.llc.Insert(key, cache.LineMeta{Origin: cache.OriginDemand})
+				}
+				m.l2Fill(key, cache.LineMeta{Origin: cache.OriginDemand})
+			}
+			m.l1i.Insert(key, cache.LineMeta{Origin: cache.OriginDemand, Used: true})
+		}
+	}
+	m.trainArch(ev)
+}
+
 // ensure pulls source events until ring position i exists. A finite
 // source running dry (zero event) latches an error instead of feeding
 // the ring garbage — replaying a trace shorter than the run is a
@@ -274,8 +492,8 @@ func (m *Machine) ensure(i int) {
 		ev := m.eng.Next()
 		if ev.NumInstr == 0 {
 			cause := errors.New("event source ran dry")
-			if es, ok := m.eng.(interface{ Err() error }); ok {
-				if err := es.Err(); err != nil {
+			if m.srcErr != nil {
+				if err := m.srcErr(); err != nil {
 					cause = err
 				}
 			}

@@ -36,6 +36,34 @@ type EventSource interface {
 	Depth() int
 }
 
+// BatchSource is the optional flat fast-path interface for fully
+// decoded in-memory sources (tracefile.MemReader). The machine, on
+// seeing it, reads the remaining stream as struct-of-arrays slices and
+// runs its cycle loop by direct indexing — no per-event interface
+// dispatch, ring copies, or marker lookups. Live and teeing sources
+// keep the interface path; behavior (and hence every digest) is
+// identical between the two.
+//
+// Handing a source to a batch consumer transfers cursor ownership: the
+// consumer indexes the Batch view and only syncs the source's own
+// cursor (BatchConsume) when the stream runs out, so Instructions/Err
+// report the same terminal state the interface path would.
+type BatchSource interface {
+	EventSource
+	// Batch returns the undelivered remainder of the stream as flat
+	// parallel slices: the events, each event's request id, and its
+	// request-done flip. The slices alias the source's decoded storage
+	// and must not be mutated.
+	Batch() (ev []isa.BlockEvent, req []uint64, done []bool)
+	// BatchRequests returns what Requests would read after n more
+	// events had been delivered; the machine samples it at its pull
+	// high-water at Run boundaries for digest parity.
+	BatchRequests(n int) uint64
+	// BatchConsume advances the source's cursor past the first n events
+	// of the most recent Batch view, as if Next had been called n times.
+	BatchConsume(n int)
+}
+
 // RequestMarker is the optional per-request boundary interface. Sources
 // that implement it (trace.Engine, the tracefile readers and Recorder,
 // the microservice interleaver) let the machine attribute fetch stall

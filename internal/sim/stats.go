@@ -100,6 +100,82 @@ func NewStats() *Stats {
 	}
 }
 
+// AddFrom accumulates o into s field by field: counters and latency
+// sums add, histograms add element-wise, and ReqStallMax takes the
+// maximum. Interval sampling folds each measured interval's statistics
+// into one aggregate with it.
+func (s *Stats) AddFrom(o *Stats) {
+	s.Instructions += o.Instructions
+	s.ScaledCycles += o.ScaledCycles
+	s.Requests += o.Requests
+	s.CondMispredicts += o.CondMispredicts
+	s.IndirectMispredicts += o.IndirectMispredicts
+	s.RASMispredicts += o.RASMispredicts
+	s.BTBMissRedirects += o.BTBMissRedirects
+	s.Branches += o.Branches
+	s.L1IDemandHits += o.L1IDemandHits
+	s.L1IDemandMisses += o.L1IDemandMisses
+	s.L1ILateHits += o.L1ILateHits
+	s.ServedL2 += o.ServedL2
+	s.ServedLLC += o.ServedLLC
+	s.ServedMem += o.ServedMem
+	s.LatencyL2Sum += o.LatencyL2Sum
+	s.LatencyLLCSum += o.LatencyLLCSum
+	s.LatencyMemSum += o.LatencyMemSum
+	s.LateFDIP += o.LateFDIP
+	s.LatePF += o.LatePF
+	s.LateFDIPStallSum += o.LateFDIPStallSum
+	s.LatePFStallSum += o.LatePFStallSum
+	for i := range s.LateFDIPByLevel {
+		s.LateFDIPByLevel[i] += o.LateFDIPByLevel[i]
+		s.LatePFByLevel[i] += o.LatePFByLevel[i]
+	}
+	s.StallScaled += o.StallScaled
+	s.TLBMisses += o.TLBMisses
+	s.TLBHits += o.TLBHits
+	s.FDIPIssued += o.FDIPIssued
+	s.FDIPUseful += o.FDIPUseful
+	s.FDIPUseless += o.FDIPUseless
+	s.PFIssued += o.PFIssued
+	s.PFRedundant += o.PFRedundant
+	s.PFDropped += o.PFDropped
+	s.PFUseful += o.PFUseful
+	s.PFUseless += o.PFUseless
+	s.PFDistSum += o.PFDistSum
+	s.PFDistCount += o.PFDistCount
+	for i := range s.PFDistHist {
+		if i < len(o.PFDistHist) {
+			s.PFDistHist[i] += o.PFDistHist[i]
+			s.PFDistUseful[i] += o.PFDistUseful[i]
+		}
+	}
+	s.L2CoveredByPF += o.L2CoveredByPF
+	s.L2Beyond += o.L2Beyond
+	s.FaultPFDrops += o.FaultPFDrops
+	s.FaultPFDelays += o.FaultPFDelays
+	s.FaultJitteredFills += o.FaultJitteredFills
+	s.FaultMSHRBlocks += o.FaultMSHRBlocks
+	s.FaultTagFlips += o.FaultTagFlips
+	s.MemBlocksDemand += o.MemBlocksDemand
+	s.MemBlocksFDIP += o.MemBlocksFDIP
+	s.MemBlocksPF += o.MemBlocksPF
+	s.MemBlocksMeta += o.MemBlocksMeta
+	s.MetaReads += o.MetaReads
+	s.MetaWrites += o.MetaWrites
+	s.MetaReadBlocks += o.MetaReadBlocks
+	s.MetaWriteBlocks += o.MetaWriteBlocks
+	s.ReqCompleted += o.ReqCompleted
+	s.ReqStallSum += o.ReqStallSum
+	if o.ReqStallMax > s.ReqStallMax {
+		s.ReqStallMax = o.ReqStallMax
+	}
+	for i := range s.ReqStallHist {
+		if i < len(o.ReqStallHist) {
+			s.ReqStallHist[i] += o.ReqStallHist[i]
+		}
+	}
+}
+
 // Cycles returns elapsed cycles.
 func (s *Stats) Cycles() float64 { return float64(s.ScaledCycles) / CycleScale }
 
@@ -218,7 +294,8 @@ func (s *Stats) ReqStallPercentileCycles(q float64) float64 {
 	if s.ReqCompleted == 0 || len(s.ReqStallHist) == 0 {
 		return 0
 	}
-	if q < 0 {
+	// Clamp the rank into [0,1]; a NaN q (a caller's 0/0) reads as 0.
+	if q != q || q < 0 {
 		q = 0
 	}
 	if q > 1 {
@@ -232,16 +309,20 @@ func (s *Stats) ReqStallPercentileCycles(q float64) float64 {
 		}
 		if float64(cum+n) >= rank {
 			lo := float64(0)
-			if i > 0 {
+			if i > 0 && i-1 < len(ReqStallBuckets) {
 				lo = float64(ReqStallBuckets[i-1])
 			}
-			hi := float64(ReqStallBuckets[i])
-			if i == len(s.ReqStallHist)-1 {
-				// Catch-all bucket: the worst observed request bounds it.
+			var hi float64
+			if i == len(s.ReqStallHist)-1 || i >= len(ReqStallBuckets) {
+				// Catch-all (or out-of-spec trailing) bucket: the worst
+				// observed request bounds it. A single-bucket histogram
+				// lands here too and interpolates from 0 to that bound.
 				hi = float64(s.ReqStallMax) / CycleScale
 				if hi < lo {
 					hi = lo
 				}
+			} else {
+				hi = float64(ReqStallBuckets[i])
 			}
 			frac := (rank - float64(cum)) / float64(n)
 			if frac < 0 {

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// hist builds a ReqStallHist-sized histogram from sparse (bucket, count)
+// pairs so the tables below stay readable.
+func hist(pairs ...[2]uint64) []uint64 {
+	h := make([]uint64, len(ReqStallBuckets))
+	for _, p := range pairs {
+		h[p[0]] = p[1]
+	}
+	return h
+}
+
+func TestReqStallPercentileCycles(t *testing.T) {
+	last := uint64(len(ReqStallBuckets) - 1)
+	for _, tc := range []struct {
+		name      string
+		completed uint64
+		hist      []uint64
+		max       uint64 // scaled units
+		q         float64
+		want      float64
+	}{
+		{
+			name: "zero completed returns zero",
+			hist: hist(), q: 0.99, want: 0,
+		},
+		{
+			name: "zero completed with stale hist returns zero",
+			hist: hist([2]uint64{3, 5}), q: 0.5, want: 0,
+		},
+		{
+			name:      "nil histogram returns zero",
+			completed: 10, hist: nil, q: 0.5, want: 0,
+		},
+		{
+			name:      "single bucket interpolates to bucket bound",
+			completed: 4, hist: hist([2]uint64{2, 4}), max: 2 * CycleScale,
+			q: 1, want: 2, // bucket 2's bound is 2 cycles
+		},
+		{
+			name:      "single zero-bucket stays at zero",
+			completed: 7, hist: hist([2]uint64{0, 7}), max: 0,
+			q: 0.999, want: 0,
+		},
+		{
+			name:      "catch-all bucket bounded by worst request",
+			completed: 1, hist: hist([2]uint64{last, 1}), max: 5_000_000 * CycleScale,
+			q: 1, want: 5_000_000,
+		},
+		{
+			name:      "catch-all never interpolates above max",
+			completed: 2, hist: hist([2]uint64{last, 2}), max: 100 * CycleScale,
+			q: 0.5, want: float64(ReqStallBuckets[last-1]), // hi clamps up to lo, collapsing the bucket
+		},
+		{
+			name:      "nan rank reads as zeroth percentile",
+			completed: 3, hist: hist([2]uint64{1, 3}), max: CycleScale,
+			q: math.NaN(), want: 0,
+		},
+		{
+			name:      "negative rank clamps to zero",
+			completed: 3, hist: hist([2]uint64{1, 3}), max: CycleScale,
+			q: -0.5, want: 0,
+		},
+		{
+			name:      "rank above one clamps to the tail",
+			completed: 2, hist: hist([2]uint64{2, 2}), max: 2 * CycleScale,
+			q: 1.5, want: 2,
+		},
+		{
+			name:      "median interpolates within bucket",
+			completed: 2, hist: hist([2]uint64{0, 1}, [2]uint64{3, 1}), max: 4 * CycleScale,
+			// rank 1.0 lands at the end of the first bucket: exactly 0.
+			q: 0.5, want: 0,
+		},
+		{
+			name:      "tail percentile lands in later bucket",
+			completed: 10, hist: hist([2]uint64{0, 9}, [2]uint64{4, 1}), max: 8 * CycleScale,
+			// rank 9.9 → 0.9 through bucket 4, which spans (4, 8].
+			q: 0.99, want: 4 + 0.9*(8-4),
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Stats{ReqCompleted: tc.completed, ReqStallHist: tc.hist, ReqStallMax: tc.max}
+			got := s.ReqStallPercentileCycles(tc.q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("q=%v returned non-finite %v", tc.q, got)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("q=%v = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestReqStallPercentileMonotonic pins that the percentile curve never
+// decreases in q and never panics, across a busy multi-bucket histogram.
+func TestReqStallPercentileMonotonic(t *testing.T) {
+	s := &Stats{
+		ReqCompleted: 100,
+		ReqStallHist: hist([2]uint64{0, 40}, [2]uint64{3, 25}, [2]uint64{7, 20},
+			[2]uint64{12, 14}, [2]uint64{uint64(len(ReqStallBuckets) - 1), 1}),
+		ReqStallMax: 3_000_000 * CycleScale,
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0+1e-9; q += 0.01 {
+		got := s.ReqStallPercentileCycles(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("q=%.2f returned non-finite %v", q, got)
+		}
+		if got < prev {
+			t.Fatalf("percentile decreased: q=%.2f gave %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+	if worst := s.ReqStallPercentileCycles(1); worst != 3_000_000 {
+		t.Errorf("q=1 = %v, want the worst observed request (3000000)", worst)
+	}
+}

@@ -16,7 +16,12 @@ type Loaded struct {
 	startAttrs Attrs
 	events     []isa.BlockEvent
 	attrs      []Attrs
-	term       error // terminal condition: ErrExhausted, or wraps ErrTruncated
+	// Struct-of-arrays view of the per-event request marks, built once
+	// at load time so the simulator's batch fast path reads two flat
+	// arrays instead of chasing Attrs structs per event.
+	reqID []uint64
+	done  []bool
+	term  error // terminal condition: ErrExhausted, or wraps ErrTruncated
 }
 
 // Load decodes an entire trace into memory. A torn tail is not an
@@ -47,6 +52,12 @@ func Load(path string) (*Loaded, error) {
 		l.attrs = append(l.attrs, r.cur)
 	}
 	l.term = r.Err()
+	l.reqID = make([]uint64, len(l.events))
+	l.done = make([]bool, len(l.events))
+	for i := range l.attrs {
+		l.reqID[i] = l.attrs[i].Request
+		l.done[i] = l.attrs[i].Done
+	}
 	return l, nil
 }
 
@@ -108,3 +119,43 @@ func (m *MemReader) Stage() int16           { return m.cur.Stage }
 func (m *MemReader) Depth() int             { return m.cur.Depth }
 func (m *MemReader) CurrentRequest() uint64 { return m.cur.Request }
 func (m *MemReader) RequestDone() bool      { return m.cur.Done }
+
+// Batch returns the undelivered remainder of the stream as flat
+// parallel slices — the events, each event's request id, and its
+// request-done flip — satisfying sim.BatchSource. The slices alias the
+// Loaded trace and must not be mutated; a consumer that takes the batch
+// view owns the cursor and must not interleave Next calls.
+func (m *MemReader) Batch() (ev []isa.BlockEvent, req []uint64, done []bool) {
+	return m.l.events[m.pos:], m.l.reqID[m.pos:], m.l.done[m.pos:]
+}
+
+// BatchRequests returns what Requests would read after n more events
+// had been delivered through Next — the batch consumer samples it at
+// its pull high-water for digest parity with the interface path.
+func (m *MemReader) BatchRequests(n int) uint64 {
+	i := m.pos + n
+	if i <= 0 {
+		return m.l.startAttrs.Requests
+	}
+	if i > len(m.l.attrs) {
+		i = len(m.l.attrs)
+	}
+	return m.l.attrs[i-1].Requests
+}
+
+// BatchConsume advances the cursor past the first n events of the most
+// recent Batch view, as if Next had been called n times. The batch
+// consumer calls it on exhaustion so Instructions and Err report the
+// same terminal state the interface path would.
+func (m *MemReader) BatchConsume(n int) {
+	end := m.pos + n
+	if end > len(m.l.events) {
+		end = len(m.l.events)
+	}
+	for ; m.pos < end; m.pos++ {
+		m.instr += uint64(m.l.events[m.pos].NumInstr)
+	}
+	if m.pos > 0 {
+		m.cur = m.l.attrs[m.pos-1]
+	}
+}

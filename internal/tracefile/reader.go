@@ -329,6 +329,43 @@ func (r *Reader) loadFrame(sync bool) {
 	r.frames++
 }
 
+// HeaderFingerprint returns a cheap content identity for the trace at
+// path: its byte size joined with a CRC over the file prefix and the
+// header record's length and payload (magic, version, meta). Unlike
+// size+mtime, it distinguishes an in-place re-record within one mtime
+// tick on coarse-timestamp filesystems, because a different recording
+// carries a different header (or a different length). It reads only
+// the header — no frame is decoded.
+//
+// The record's own trailing CRC is deliberately excluded from the
+// hashed region: a CRC computed over a message with its CRC appended
+// is a constant residue, so including it would make every well-formed
+// header fingerprint to the same value.
+func HeaderFingerprint(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return "", err
+	}
+	var lenBuf [4]byte
+	if _, err := f.ReadAt(lenBuf[:], headerPrefixSize); err != nil {
+		return "", fmt.Errorf("tracefile: %s: %w (unreadable header)", path, ErrTruncated)
+	}
+	n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n > maxRecordBytes || n > st.Size()-headerPrefixSize-8 {
+		return "", fmt.Errorf("tracefile: %s: %w (torn header)", path, ErrTruncated)
+	}
+	buf := make([]byte, headerPrefixSize+4+n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(len(buf))), buf); err != nil {
+		return "", fmt.Errorf("tracefile: %s: %w (unreadable header)", path, ErrTruncated)
+	}
+	return fmt.Sprintf("%d:%08x", st.Size(), crc32.ChecksumIEEE(buf)), nil
+}
+
 // Info describes a trace file without replaying it into a simulator.
 type Info struct {
 	Meta   Meta
