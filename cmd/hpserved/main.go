@@ -74,6 +74,7 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "default transient-failure retries per job (0 = built-in default)")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight HTTP requests")
 		chaos      = flag.String("chaos", "", "service chaos spec, dev only: class[:rate[:seed]] (job-transient, worker-kill)")
+		corpusDir  = flag.String("corpus", "", "resolve run traces through the content-addressed trace corpus at this directory (self-healing replay)")
 
 		coordinator = flag.Bool("coordinator", false, "coordinate a fleet of backend hpserved instances instead of simulating")
 		backends    = flag.String("backends", "", "coordinator mode: comma-separated backend base URLs")
@@ -98,6 +99,7 @@ func main() {
 		MaxJobsRetained: *retained,
 		JournalPath:     *journal,
 		Retry:           service.RetryPolicy{MaxRetries: *maxRetries},
+		CorpusDir:       *corpusDir,
 	}
 	if *chaos != "" {
 		fc, err := fault.ParseSpec(*chaos)

@@ -16,6 +16,7 @@
 //	hpsim -workload gin -record gin.hpt      # capture a replayable trace
 //	hpsim -workload gin -replay gin.hpt      # simulate from the trace
 //	hpsim -experiment fig9 -tracedir traces/ # replay-backed experiment
+//	hpsim -sweep -corpus corpus/ -quick      # corpus-resolved, self-healing replay
 //	hpsim -workload gin -sample 50000,100000,800000  # interval-sampled run
 //	hpsim -sweep -workloads gin,echo -schemes FDIP,Hierarchical -quick
 //
@@ -60,6 +61,7 @@ func main() {
 		record     = flag.String("record", "", "capture -workload's event stream to this trace file instead of simulating")
 		replay     = flag.String("replay", "", "replay the event stream from this recorded trace instead of running live")
 		tracedir   = flag.String("tracedir", "", "replay workloads with a trace at <dir>/<workload>.hpt, run the rest live")
+		corpusDir  = flag.String("corpus", "", "resolve workloads through the content-addressed trace corpus at this directory (self-healing replay)")
 		sweep      = flag.Bool("sweep", false, "run a workload × scheme IPC sweep (the table a fleet coordinator produces)")
 		schemes    = flag.String("schemes", "", "comma-separated scheme subset for -sweep (default: all evaluated schemes)")
 		list       = flag.Bool("list", false, "print every known workload and experiment id (sorted) and exit")
@@ -88,6 +90,7 @@ func main() {
 		Parallel:            *parallel,
 		ReplayTrace:         *replay,
 		TraceDir:            *tracedir,
+		CorpusDir:           *corpusDir,
 		Sample:              *sample,
 	}
 	if *only != "" {

@@ -1,0 +1,208 @@
+// Corpus administration and corruption injection subcommands.
+//
+//	hptrace corpus ingest -dir corpus a.hpt b.hpt
+//	hptrace corpus ls -dir corpus
+//	hptrace corpus verify -dir corpus [key ...]
+//	hptrace corpus scrub -dir corpus [-parallel 8]
+//	hptrace corpus gc -dir corpus
+//	hptrace corrupt -spec trace-bitrot::7 [-o out.hpt] trace.hpt
+//
+// corrupt applies one of the deterministic storage fault classes to a
+// clean trace file (in place unless -o names a copy), so CI can
+// manufacture precisely the damage the scrubber must catch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"hprefetch/internal/corpus"
+	"hprefetch/internal/fault"
+)
+
+func runCorpus(args []string) {
+	if len(args) < 1 {
+		fatal(fmt.Errorf("usage: hptrace corpus <ingest|ls|verify|scrub|gc> -dir <corpus-dir> [args]"))
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "ingest":
+		corpusIngest(rest)
+	case "ls":
+		corpusLs(rest)
+	case "verify":
+		corpusVerify(rest)
+	case "scrub":
+		corpusScrub(rest)
+	case "gc":
+		corpusGC(rest)
+	default:
+		fatal(fmt.Errorf("unknown corpus verb %q (want ingest, ls, verify, scrub or gc)", verb))
+	}
+}
+
+func corpusIngest(args []string) {
+	fs := flag.NewFlagSet("hptrace corpus ingest", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus root directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *dir == "" || fs.NArg() == 0 {
+		fatal(fmt.Errorf("usage: hptrace corpus ingest -dir <corpus-dir> <trace-file> ..."))
+	}
+	store, err := corpus.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range fs.Args() {
+		e, added, err := store.Ingest(path)
+		if err != nil {
+			fatal(fmt.Errorf("ingest %s: %w", path, err))
+		}
+		verb := "ingested"
+		if !added {
+			verb = "already present"
+		}
+		fmt.Printf("%s %s: %s (%s, %d instructions, %d bytes)\n", verb, path, e.Key, e.Workload, e.Instructions, e.Bytes)
+	}
+}
+
+func corpusLs(args []string) {
+	fs := flag.NewFlagSet("hptrace corpus ls", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus root directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *dir == "" {
+		fatal(fmt.Errorf("usage: hptrace corpus ls -dir <corpus-dir>"))
+	}
+	store, err := corpus.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := store.List()
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("%s  %-16s seed=%d  target=%d  events=%d  instr=%d  %d bytes\n",
+			e.Key, e.Workload, e.Seed, e.TargetInstructions, e.Events, e.Instructions, e.Bytes)
+	}
+	fmt.Printf("%d objects\n", len(entries))
+}
+
+func corpusVerify(args []string) {
+	fs := flag.NewFlagSet("hptrace corpus verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus root directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *dir == "" {
+		fatal(fmt.Errorf("usage: hptrace corpus verify -dir <corpus-dir> [key ...]"))
+	}
+	store, err := corpus.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	var entries []corpus.Entry
+	if fs.NArg() == 0 {
+		entries, err = store.List()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, key := range fs.Args() {
+			e, err := store.Manifest(key)
+			if err != nil {
+				fatal(err)
+			}
+			entries = append(entries, e)
+		}
+	}
+	bad := 0
+	for _, e := range entries {
+		if err := store.Verify(e); err != nil {
+			fmt.Printf("FAIL %s: %v\n", e.Key, err)
+			bad++
+		} else {
+			fmt.Printf("ok   %s (%s)\n", e.Key, e.Workload)
+		}
+	}
+	if bad > 0 {
+		fatal(fmt.Errorf("%d of %d objects failed verification", bad, len(entries)))
+	}
+	fmt.Printf("verified %d objects\n", len(entries))
+}
+
+func corpusScrub(args []string) {
+	fs := flag.NewFlagSet("hptrace corpus scrub", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus root directory")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "verification workers")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *dir == "" {
+		fatal(fmt.Errorf("usage: hptrace corpus scrub -dir <corpus-dir> [-parallel N]"))
+	}
+	store, err := corpus.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := store.Scrub(*parallel)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range rep.Failures {
+		fmt.Printf("quarantined %s: %s\n", f.Key, f.Reason)
+	}
+	fmt.Printf("scrubbed %d objects: %d ok, %d quarantined\n", rep.Scanned, rep.OK, rep.Quarantined)
+}
+
+func corpusGC(args []string) {
+	fs := flag.NewFlagSet("hptrace corpus gc", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus root directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *dir == "" {
+		fatal(fmt.Errorf("usage: hptrace corpus gc -dir <corpus-dir>"))
+	}
+	store, err := corpus.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := store.GC()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gc: %d temp files, %d orphan objects, %d orphan manifests removed\n",
+		rep.TempFiles, rep.OrphanObjects, rep.OrphanManifests)
+}
+
+// runCorrupt applies a deterministic storage fault to a clean trace.
+func runCorrupt(args []string) {
+	fs := flag.NewFlagSet("hptrace corrupt", flag.ExitOnError)
+	spec := fs.String("spec", "", "storage fault spec class[:rate[:seed]] (classes: trace-bitrot, trace-torn-tail, trace-trunc-frame, trace-swap-frames)")
+	out := fs.String("o", "", "output path (default: overwrite the input)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *spec == "" || fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: hptrace corrupt -spec <class[:rate[:seed]]> [-o out.hpt] <trace-file>"))
+	}
+	cfg, err := fault.ParseSpec(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	in, err := fault.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	damaged, err := in.PerturbTrace(data)
+	if err != nil {
+		fatal(err)
+	}
+	target := *out
+	if target == "" {
+		target = path
+	}
+	if err := os.WriteFile(target, damaged, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corrupted %s -> %s (%s, %d -> %d bytes)\n", path, target, cfg, len(data), len(damaged))
+}

@@ -9,10 +9,14 @@
 //	hptrace record -workload gin -instructions 6000000 -o gin.hpt
 //	hptrace info gin.hpt
 //	hptrace verify gin.hpt
+//	hptrace corpus ingest -dir corpus gin.hpt
+//	hptrace corrupt -spec trace-bitrot::7 gin.hpt
 //
 // verify replays the trace against a fresh execution engine and checks
 // every event and attribution sample for equality; it exits nonzero on
-// any divergence or a truncated file, so CI can gate on it.
+// any divergence or a truncated file, so CI can gate on it. corpus
+// administers the content-addressed trace store (see corpus.go), and
+// corrupt injects deterministic storage faults for resilience testing.
 package main
 
 import (
@@ -38,6 +42,12 @@ func main() {
 			return
 		case "verify":
 			runVerify(os.Args[2:])
+			return
+		case "corpus":
+			runCorpus(os.Args[2:])
+			return
+		case "corrupt":
+			runCorrupt(os.Args[2:])
 			return
 		}
 	}

@@ -94,6 +94,12 @@ type Options struct {
 	// recorded trace at <TraceDir>/<workload>.hpt replay from it, the
 	// rest run live.
 	TraceDir string
+	// CorpusDir resolves workloads through the content-addressed trace
+	// corpus rooted here: a run with no explicit trace replays the best
+	// published recording that covers its warm+measure window, healing
+	// or routing around damaged objects (the digest never depends on
+	// the corpus). See internal/corpus.
+	CorpusDir string
 	// Sample enables interval sampling instead of exact measurement,
 	// specified as "warm,measure,skip[,seed]" in instructions — e.g.
 	// "50000,100000,800000". The measure window is covered by detailed
@@ -149,6 +155,7 @@ func (o *Options) runConfig() (harness.RunConfig, error) {
 	}
 	rc.TracePath = o.ReplayTrace
 	rc.TraceDir = o.TraceDir
+	rc.CorpusDir = o.CorpusDir
 	if o.Sample != "" {
 		sp, err := harness.ParseSampleSpec(o.Sample)
 		if err != nil {
@@ -345,6 +352,7 @@ func RunSweep(schemes []string, opt *Options) (*Table, error) {
 		sp.Quick = opt.Quick
 		sp.WarmInstr = opt.WarmInstructions
 		sp.MeasureInstr = opt.MeasureInstructions
+		sp.CorpusDir = opt.CorpusDir
 	}
 	t, err := fleet.RunLocal(context.Background(), sp)
 	if err != nil {

@@ -1,0 +1,487 @@
+// Package corpus is the content-addressed trace store behind
+// replay-only sweeps: record a workload's event stream once, ingest it,
+// and every scheme of every later experiment replays from the shared
+// object instead of regenerating the stream live. Objects are keyed on
+// tracefile.HeaderFingerprint, so re-ingesting the same recording is a
+// no-op and two different recordings can never collide silently.
+//
+// Layout under the store root:
+//
+//	objects/<key>.hpt       the trace image, immutable once published
+//	objects/<key>.json      its manifest (identity, totals, CRC index)
+//	quarantine/             objects scrub or replay found damaged
+//	tmp/                    ingest staging (crash leftovers; see GC)
+//
+// Every publish is write-temp → fsync → rename, manifest strictly after
+// object, so a torn write or a crash mid-ingest never yields a visible
+// object: an object exists exactly when its manifest does, and the
+// manifest was renamed in last. The manifest carries a whole-file CRC
+// and a per-frame CRC index, so the scrubber detects any byte-level
+// damage — including damage (like swapped frames or a torn tail) that
+// leaves every record checksum intact.
+//
+// The store is safe for concurrent use by multiple processes sharing
+// one directory (fleet backends mounting a common corpus): readers see
+// only atomically published objects, quarantine is an atomic rename,
+// and losing a publish race simply means the winner's identical bytes
+// are already there. Only GC assumes no ingest is concurrently staging.
+package corpus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"hprefetch/internal/tracefile"
+)
+
+// TraceExt is the object file extension (same as harness trace files).
+const TraceExt = ".hpt"
+
+// FrameCRC locates one frame record and its stored checksum — the
+// manifest's per-frame integrity index, verified by Store.Verify
+// without decoding frame bodies.
+type FrameCRC struct {
+	Off int64  `json:"off"`
+	Len int64  `json:"len"`
+	CRC uint32 `json:"crc"`
+}
+
+// Entry is one published object's manifest: identity, stream totals
+// measured by the deep verification at ingest, and the CRC index the
+// scrubber checks against.
+type Entry struct {
+	// Key is the content address: tracefile.HeaderFingerprint with the
+	// ':' made filename-safe ('-').
+	Key string `json:"key"`
+	// Workload, Seed and TargetInstructions mirror the trace header.
+	Workload           string `json:"workload"`
+	Seed               uint64 `json:"seed"`
+	TargetInstructions uint64 `json:"target_instructions"`
+	// Frames, Events, Instructions and Requests are the decoded stream
+	// totals (cross-checked against the trace's own index at ingest).
+	Frames       int    `json:"frames"`
+	Events       uint64 `json:"events"`
+	Instructions uint64 `json:"instructions"`
+	Requests     uint64 `json:"requests"`
+	// Bytes and FileCRC fingerprint the whole object image.
+	Bytes   int64  `json:"bytes"`
+	FileCRC uint32 `json:"file_crc"`
+	// FrameCRCs indexes every frame record's span and checksum.
+	FrameCRCs []FrameCRC `json:"frame_crcs"`
+}
+
+// Store is a corpus rooted at one directory. The zero value is not
+// valid — use Open. Methods are safe for concurrent use.
+type Store struct {
+	root string
+	// quarMu serialises quarantine-name probing within this process;
+	// cross-process races fall back on rename atomicity.
+	quarMu sync.Mutex
+}
+
+// Key converts a tracefile.HeaderFingerprint into its object key.
+func Key(fingerprint string) string { return strings.ReplaceAll(fingerprint, ":", "-") }
+
+// Open opens (creating if needed) the corpus rooted at dir.
+func Open(dir string) (*Store, error) {
+	s := &Store{root: dir}
+	for _, d := range []string{s.objectsDir(), s.quarantineDir(), s.tmpDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) objectsDir() string    { return filepath.Join(s.root, "objects") }
+func (s *Store) quarantineDir() string { return filepath.Join(s.root, "quarantine") }
+func (s *Store) tmpDir() string        { return filepath.Join(s.root, "tmp") }
+
+// ObjectPath returns where the object for key lives (whether or not it
+// currently exists).
+func (s *Store) ObjectPath(key string) string {
+	return filepath.Join(s.objectsDir(), key+TraceExt)
+}
+
+func (s *Store) manifestPath(key string) string {
+	return filepath.Join(s.objectsDir(), key+".json")
+}
+
+// testHookBetweenPublishes, when non-nil, runs after the object rename
+// and before the manifest rename — the widest crash window in a
+// publish. The crash-consistency test uses it to SIGKILL the process at
+// that instant; nothing outside tests ever sets it.
+var testHookBetweenPublishes func()
+
+// Ingest verifies the trace at path deeply and publishes it under its
+// content address. Re-ingesting bytes already in the store is a no-op
+// (added=false). Corrupt, torn or unsealed traces never become
+// addressable: verification precedes publication.
+func (s *Store) Ingest(path string) (Entry, bool, error) {
+	fp, err := tracefile.HeaderFingerprint(path)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: ingest %s: %w", path, err)
+	}
+	key := Key(fp)
+	if e, err := s.Manifest(key); err == nil {
+		// Already published. Trust but verify cheaply: the object must
+		// exist at its manifest size.
+		if st, err := os.Stat(s.ObjectPath(key)); err == nil && st.Size() == e.Bytes {
+			return e, false, nil
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: ingest: %w", err)
+	}
+	lo, err := tracefile.LayoutOf(data)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: ingest %s: %w", path, err)
+	}
+	info, err := tracefile.VerifyDeep(path)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: ingest %s: %w", path, err)
+	}
+	e := Entry{
+		Key:                key,
+		Workload:           info.Meta.Workload,
+		Seed:               info.Meta.Seed,
+		TargetInstructions: info.Meta.TargetInstructions,
+		Frames:             info.Frames,
+		Events:             info.Events,
+		Instructions:       info.Instructions,
+		Requests:           info.Requests,
+		Bytes:              int64(len(data)),
+		FileCRC:            crc32.ChecksumIEEE(data),
+	}
+	for _, fr := range lo.Frames {
+		e.FrameCRCs = append(e.FrameCRCs, FrameCRC{Off: fr.Off, Len: fr.Len, CRC: fr.CRC})
+	}
+	man, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return Entry{}, false, err
+	}
+	// Object first, manifest second: a crash between the renames leaves
+	// an orphan object no reader resolves (GC sweeps it), never a
+	// manifest pointing at nothing.
+	if err := s.publish(s.ObjectPath(key), data); err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: ingest: %w", err)
+	}
+	if testHookBetweenPublishes != nil {
+		testHookBetweenPublishes()
+	}
+	if err := s.publish(s.manifestPath(key), man); err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: ingest: %w", err)
+	}
+	return e, true, nil
+}
+
+// publish atomically installs content at target: temp file in tmp/,
+// fsync, rename into place, fsync the containing directory.
+func (s *Store) publish(target string, content []byte) error {
+	f, err := os.CreateTemp(s.tmpDir(), filepath.Base(target)+".*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(content); err == nil {
+		err = f.Sync()
+	} else {
+		f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, target)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, derr := os.Open(filepath.Dir(target)); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Manifest loads one key's manifest.
+func (s *Store) Manifest(key string) (Entry, error) {
+	raw, err := os.ReadFile(s.manifestPath(key))
+	if err != nil {
+		return Entry{}, err
+	}
+	var e Entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return Entry{}, fmt.Errorf("corpus: manifest %s: %w", key, err)
+	}
+	if e.Key != key {
+		return Entry{}, fmt.Errorf("corpus: manifest %s names key %q", key, e.Key)
+	}
+	return e, nil
+}
+
+// List returns every published entry, sorted by key. Manifests that
+// fail to parse or lack their object are skipped — they are GC's and
+// the scrubber's business, not a reason to fail a listing.
+func (s *Store) List() ([]Entry, error) {
+	names, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	var out []Entry
+	for _, de := range names {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".json")
+		e, err := s.Manifest(key)
+		if err != nil {
+			continue
+		}
+		if _, err := os.Stat(s.ObjectPath(key)); err != nil {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Resolve picks the best object for a workload: the one whose recording
+// target covers at least minInstructions, preferring the longest
+// recording (ties broken by key, so every process picks the same
+// object).
+func (s *Store) Resolve(workload string, minInstructions uint64) (Entry, bool) {
+	entries, err := s.List()
+	if err != nil {
+		return Entry{}, false
+	}
+	var best Entry
+	found := false
+	for _, e := range entries {
+		if e.Workload != workload || e.TargetInstructions < minInstructions {
+			continue
+		}
+		if !found || e.TargetInstructions > best.TargetInstructions ||
+			(e.TargetInstructions == best.TargetInstructions && e.Key < best.Key) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// Verify checks one entry's object against its manifest and the trace
+// format itself: byte size, whole-file CRC, every frame span and CRC in
+// the index, then a full decode (checksums, varints, footers, frame
+// continuity, index totals). Any mismatch is corruption.
+func (s *Store) Verify(e Entry) error {
+	path := s.ObjectPath(e.Key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %s: %w", e.Key, err)
+	}
+	if int64(len(data)) != e.Bytes {
+		return fmt.Errorf("corpus: %s: %w: object is %d bytes, manifest says %d",
+			e.Key, tracefile.ErrCorrupt, len(data), e.Bytes)
+	}
+	if crc := crc32.ChecksumIEEE(data); crc != e.FileCRC {
+		return fmt.Errorf("corpus: %s: %w: file CRC %08x, manifest says %08x",
+			e.Key, tracefile.ErrCorrupt, crc, e.FileCRC)
+	}
+	lo, err := tracefile.LayoutOf(data)
+	if err != nil {
+		return fmt.Errorf("corpus: %s: %w", e.Key, err)
+	}
+	if len(lo.Frames) != len(e.FrameCRCs) {
+		return fmt.Errorf("corpus: %s: %w: %d frame records, manifest indexes %d",
+			e.Key, tracefile.ErrCorrupt, len(lo.Frames), len(e.FrameCRCs))
+	}
+	for i, fr := range lo.Frames {
+		if want := e.FrameCRCs[i]; fr.Off != want.Off || fr.Len != want.Len || fr.CRC != want.CRC {
+			return fmt.Errorf("corpus: %s: %w: frame %d span/CRC disagrees with manifest",
+				e.Key, tracefile.ErrCorrupt, i)
+		}
+	}
+	info, err := tracefile.VerifyDeep(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %s: %w", e.Key, err)
+	}
+	if info.Meta.Workload != e.Workload || info.Meta.Seed != e.Seed ||
+		info.Frames != e.Frames || info.Events != e.Events ||
+		info.Instructions != e.Instructions || info.Requests != e.Requests {
+		return fmt.Errorf("corpus: %s: %w: decoded identity/totals disagree with manifest",
+			e.Key, tracefile.ErrCorrupt)
+	}
+	return nil
+}
+
+// ScrubFailure is one quarantined object.
+type ScrubFailure struct {
+	Key    string `json:"key"`
+	Reason string `json:"reason"`
+}
+
+// ScrubReport summarises a scrub pass.
+type ScrubReport struct {
+	Scanned     int            `json:"scanned"`
+	OK          int            `json:"ok"`
+	Quarantined int            `json:"quarantined"`
+	Failures    []ScrubFailure `json:"failures,omitempty"`
+}
+
+// Scrub verifies every published object with parallel workers and
+// quarantines each failure. The report lists failures sorted by key.
+func (s *Store) Scrub(parallel int) (ScrubReport, error) {
+	if parallel < 1 {
+		parallel = 1
+	}
+	entries, err := s.List()
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	rep := ScrubReport{Scanned: len(entries)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallel)
+	var firstErr error
+	for _, e := range entries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(e Entry) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			verr := s.Verify(e)
+			mu.Lock()
+			defer mu.Unlock()
+			if verr == nil {
+				rep.OK++
+				return
+			}
+			rep.Failures = append(rep.Failures, ScrubFailure{Key: e.Key, Reason: verr.Error()})
+			if _, qerr := s.QuarantineKey(e.Key, verr.Error()); qerr != nil {
+				if firstErr == nil {
+					firstErr = qerr
+				}
+			} else {
+				rep.Quarantined++
+			}
+		}(e)
+	}
+	wg.Wait()
+	sort.Slice(rep.Failures, func(i, j int) bool { return rep.Failures[i].Key < rep.Failures[j].Key })
+	return rep, firstErr
+}
+
+// QuarantineKey moves an object (and its manifest) out of the
+// addressable store into quarantine/, recording why in a .reason file.
+// Quarantining an already-removed object is not an error — under
+// concurrent detection, first mover wins. It returns where the object
+// went ("" if another process already took it).
+func (s *Store) QuarantineKey(key, reason string) (string, error) {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	// Pick a free quarantine slot: <key>.hpt, then <key>.2.hpt, ...
+	var dst string
+	for i := 1; ; i++ {
+		base := key
+		if i > 1 {
+			base = fmt.Sprintf("%s.%d", key, i)
+		}
+		dst = filepath.Join(s.quarantineDir(), base+TraceExt)
+		if _, err := os.Stat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		if i > 1000 {
+			return "", fmt.Errorf("corpus: quarantine of %s: no free slot", key)
+		}
+	}
+	moved := false
+	if err := os.Rename(s.ObjectPath(key), dst); err == nil {
+		moved = true
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return "", fmt.Errorf("corpus: quarantine %s: %w", key, err)
+	}
+	manDst := strings.TrimSuffix(dst, TraceExt) + ".json"
+	if err := os.Rename(s.manifestPath(key), manDst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return "", fmt.Errorf("corpus: quarantine %s: %w", key, err)
+	}
+	if !moved {
+		return "", nil
+	}
+	_ = os.WriteFile(strings.TrimSuffix(dst, TraceExt)+".reason", []byte(reason+"\n"), 0o644)
+	return dst, nil
+}
+
+// QuarantinePath quarantines the object whose published path is p
+// (as returned by ObjectPath/Resolve).
+func (s *Store) QuarantinePath(p, reason string) (string, error) {
+	base := filepath.Base(p)
+	if !strings.HasSuffix(base, TraceExt) || filepath.Dir(p) != s.objectsDir() {
+		return "", fmt.Errorf("corpus: %s is not a corpus object path", p)
+	}
+	return s.QuarantineKey(strings.TrimSuffix(base, TraceExt), reason)
+}
+
+// GCReport summarises a garbage collection.
+type GCReport struct {
+	TempFiles       int `json:"temp_files"`
+	OrphanObjects   int `json:"orphan_objects"`
+	OrphanManifests int `json:"orphan_manifests"`
+}
+
+// GC removes ingest leftovers: everything in tmp/ (staging files a
+// crash abandoned), objects without a manifest (a crash between the
+// two publish renames), and manifests without an object (a partially
+// completed quarantine). It assumes no ingest is running concurrently
+// in any process — run it from an administrative context.
+func (s *Store) GC() (GCReport, error) {
+	var rep GCReport
+	tmp, err := os.ReadDir(s.tmpDir())
+	if err != nil {
+		return rep, fmt.Errorf("corpus: %w", err)
+	}
+	for _, de := range tmp {
+		if err := os.Remove(filepath.Join(s.tmpDir(), de.Name())); err == nil {
+			rep.TempFiles++
+		}
+	}
+	names, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return rep, fmt.Errorf("corpus: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, TraceExt):
+			key := strings.TrimSuffix(name, TraceExt)
+			if _, err := os.Stat(s.manifestPath(key)); errors.Is(err, fs.ErrNotExist) {
+				if os.Remove(s.ObjectPath(key)) == nil {
+					rep.OrphanObjects++
+				}
+			}
+		case strings.HasSuffix(name, ".json"):
+			key := strings.TrimSuffix(name, ".json")
+			if _, err := os.Stat(s.ObjectPath(key)); errors.Is(err, fs.ErrNotExist) {
+				if os.Remove(s.manifestPath(key)) == nil {
+					rep.OrphanManifests++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

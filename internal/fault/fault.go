@@ -94,6 +94,11 @@ func (c Class) Valid() bool {
 			return true
 		}
 	}
+	for _, k := range StorageClasses() {
+		if c == k {
+			return true
+		}
+	}
 	return false
 }
 
@@ -117,6 +122,14 @@ func DefaultRate(c Class) float64 {
 		return 0.20 // per-attempt transient failure probability
 	case ClassWorkerKill:
 		return 0.05 // per-attempt worker panic probability
+	case ClassTraceBitRot:
+		return 0.25 // per-frame single-bit-flip probability
+	case ClassTraceTornTail:
+		return 0.25 // fraction of trailing frames lost with the tail
+	case ClassTraceTruncFrame:
+		return 0.50 // (unused position knob) seeded cut inside a frame
+	case ClassTraceSwapFrames:
+		return 0.50 // (unused position knob) seeded adjacent-frame swap
 	}
 	return 0
 }
@@ -164,7 +177,7 @@ func ParseSpec(s string) (Config, error) {
 	cfg := Config{Class: Class(parts[0])}
 	if !cfg.Valid() || !cfg.Enabled() {
 		return Config{}, fmt.Errorf("fault: unknown class %q (valid: %v)",
-			parts[0], append(Classes(), ServiceClasses()...))
+			parts[0], append(append(Classes(), ServiceClasses()...), StorageClasses()...))
 	}
 	if len(parts) >= 2 && parts[1] != "" {
 		r, err := strconv.ParseFloat(parts[1], 64)

@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"fmt"
+
+	"hprefetch/internal/tracefile"
+	"hprefetch/internal/xrand"
+)
+
+// Storage-fault classes damage a recorded trace's byte image the way
+// real storage does — bit rot, torn writes, lost tails, misplaced
+// extents — so the corpus scrubber and the harness's self-healing
+// replay path can be soaked deterministically. They perturb bytes, not
+// simulations: inside a running simulation they are no-ops.
+const (
+	// ClassTraceBitRot flips single bits at seeded offsets inside frame
+	// records (latent sector decay; every record keeps its length, so
+	// only checksums can catch it).
+	ClassTraceBitRot Class = "trace-bitrot"
+	// ClassTraceTornTail cuts the file's tail — trailer, index and a
+	// rate-fraction of trailing frames — the signature of a torn write
+	// or a lost extent at the end of the file.
+	ClassTraceTornTail Class = "trace-torn-tail"
+	// ClassTraceTruncFrame cuts the file mid-record inside a seeded
+	// interior frame (a partial overwrite that ends in the middle of a
+	// record rather than at a boundary).
+	ClassTraceTruncFrame Class = "trace-trunc-frame"
+	// ClassTraceSwapFrames exchanges two adjacent frame records whole.
+	// Every checksum stays valid — only the frame-continuity counters
+	// can detect the damage (a misdirected write landing on the wrong
+	// extent).
+	ClassTraceSwapFrames Class = "trace-swap-frames"
+)
+
+// StorageClasses returns the trace-image fault classes, applied to
+// recorded artifacts by the corruption soak (hptrace corrupt) rather
+// than injected into a simulation.
+func StorageClasses() []Class {
+	return []Class{ClassTraceBitRot, ClassTraceTornTail, ClassTraceTruncFrame, ClassTraceSwapFrames}
+}
+
+const saltStore = 0x5704
+
+// PerturbTrace returns a damaged copy of a sealed trace's byte image
+// according to the configured storage-fault class. The damage is a pure
+// function of (Config, data): repeated calls return identical bytes.
+// The input must be a structurally clean sealed trace (it is verified
+// first — corrupting an already-corrupt image would make "scrub detects
+// 100% of injected faults" unfalsifiable).
+func (in *Injector) PerturbTrace(data []byte) ([]byte, error) {
+	switch in.cfg.Class {
+	case ClassTraceBitRot, ClassTraceTornTail, ClassTraceTruncFrame, ClassTraceSwapFrames:
+	default:
+		return nil, fmt.Errorf("fault: %q is not a storage-fault class (valid: %v)", in.cfg.Class, StorageClasses())
+	}
+	lo, err := tracefile.LayoutOf(data)
+	if err != nil {
+		return nil, fmt.Errorf("fault: refusing to corrupt an unclean trace: %w", err)
+	}
+	rng := xrand.New(xrand.Mix(in.cfg.Seed, saltStore))
+	out := append([]byte(nil), data...)
+	frames := lo.Frames
+
+	switch in.cfg.Class {
+	case ClassTraceBitRot:
+		rotted := 0
+		for _, fr := range frames {
+			if !rng.Bool(in.rate) {
+				continue
+			}
+			flipBit(out, fr, rng)
+			rotted++
+		}
+		if rotted == 0 { // the class must always injure something
+			flipBit(out, frames[rng.IntN(len(frames))], rng)
+		}
+	case ClassTraceTornTail:
+		lost := int(float64(len(frames)) * in.rate)
+		if lost >= len(frames) {
+			lost = len(frames) - 1
+		}
+		out = out[:frames[len(frames)-lost-1].Off+frames[len(frames)-lost-1].Len]
+	case ClassTraceTruncFrame:
+		fr := frames[rng.IntN(len(frames))]
+		// Cut strictly inside the record: past its length prefix, short
+		// of its final CRC byte.
+		cut := fr.Off + 4 + int64(rng.IntN(int(fr.Len-5)))
+		out = out[:cut]
+	case ClassTraceSwapFrames:
+		if len(frames) < 2 {
+			return nil, fmt.Errorf("fault: %s needs at least 2 frames, trace has %d", in.cfg.Class, len(frames))
+		}
+		i := rng.IntN(len(frames) - 1)
+		a, b := frames[i], frames[i+1]
+		swapped := append([]byte(nil), out[:a.Off]...)
+		swapped = append(swapped, out[b.Off:b.Off+b.Len]...)
+		swapped = append(swapped, out[a.Off:a.Off+a.Len]...)
+		swapped = append(swapped, out[b.Off+b.Len:]...)
+		out = swapped
+	}
+	return out, nil
+}
+
+// flipBit flips one seeded bit inside the record's payload region.
+func flipBit(data []byte, fr tracefile.Span, rng *xrand.RNG) {
+	off := fr.Off + 4 + int64(rng.IntN(int(fr.Len-8)))
+	data[off] ^= 1 << uint(rng.IntN(8))
+}

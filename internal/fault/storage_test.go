@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hprefetch/internal/tracefile"
+	"hprefetch/internal/workloads"
+)
+
+// storageFixture records one small multi-frame trace shared by the
+// storage-fault tests.
+func storageFixture(t *testing.T) []byte {
+	t.Helper()
+	built, err := workloads.Build("gin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gin.hpt")
+	meta := tracefile.Meta{Workload: "gin", Seed: built.Workload.TraceSeed, TargetInstructions: 30_000}
+	if _, err := tracefile.Record(path, built.NewEngine(), meta, 30_000, 64, tracefile.Options{FrameEvents: 256}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPerturbTraceDeterministic(t *testing.T) {
+	clean := storageFixture(t)
+	for _, class := range StorageClasses() {
+		t.Run(string(class), func(t *testing.T) {
+			perturb := func(seed uint64) []byte {
+				in, err := New(Config{Class: class, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := in.PerturbTrace(append([]byte(nil), clean...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			a, b := perturb(42), perturb(42)
+			if !bytes.Equal(a, b) {
+				t.Fatal("same seed produced different damage")
+			}
+			if bytes.Equal(a, clean) {
+				t.Fatal("injection left the trace untouched")
+			}
+			// Coarse classes (a torn tail cuts at frame granularity) can
+			// collide across seeds; only bit-rot's fine-grained stream
+			// must diverge.
+			if class == ClassTraceBitRot {
+				if c := perturb(43); bytes.Equal(a, c) {
+					t.Fatal("different seeds produced identical damage")
+				}
+			}
+		})
+	}
+}
+
+// TestPerturbTraceDamageIsDetectable: every storage class produces a
+// file deep verification rejects — no class can manufacture damage the
+// scrubber would wave through. (Swapped frames keep every record
+// structurally intact, so the structural layout walk alone is not
+// enough; the deep pass decodes the stream and catches the
+// discontinuity.)
+func TestPerturbTraceDamageIsDetectable(t *testing.T) {
+	clean := storageFixture(t)
+	if _, err := tracefile.LayoutOf(clean); err != nil {
+		t.Fatalf("fixture not clean: %v", err)
+	}
+	for _, class := range StorageClasses() {
+		t.Run(string(class), func(t *testing.T) {
+			in, err := New(Config{Class: class, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			damaged, err := in.PerturbTrace(append([]byte(nil), clean...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "damaged.hpt")
+			if err := os.WriteFile(path, damaged, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tracefile.VerifyDeep(path); err == nil {
+				t.Fatalf("%s damage passed deep verification", class)
+			}
+		})
+	}
+}
+
+// TestPerturbTraceRefusesUncleanInput: corrupting an already-damaged
+// trace would make fault attribution ambiguous, so the injector
+// fail-stops instead.
+func TestPerturbTraceRefusesUncleanInput(t *testing.T) {
+	clean := storageFixture(t)
+	dirty := append([]byte(nil), clean...)
+	dirty[len(dirty)/2] ^= 0x01
+	in, err := New(Config{Class: ClassTraceBitRot, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PerturbTrace(dirty); !errors.Is(err, tracefile.ErrCorrupt) {
+		t.Fatalf("PerturbTrace(dirty) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStorageClassSpecsParse(t *testing.T) {
+	for _, class := range StorageClasses() {
+		cfg, err := ParseSpec(string(class) + ":0.5:9")
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if cfg.Class != class || cfg.Rate != 0.5 || cfg.Seed != 9 {
+			t.Fatalf("%s parsed as %+v", class, cfg)
+		}
+		if !cfg.Valid() {
+			t.Fatalf("%s spec invalid", class)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -442,12 +443,28 @@ func (c *Coordinator) runJob(sw *Sweep, jb *sweepJob) {
 			// The backend answered but the job failed there (it already
 			// burned its own retry budget); try the next backend.
 			lastErr = fmt.Sprintf("%s on %s: %s", view.State, winner, view.Error)
+			// A shard failing on a corrupt or quarantined trace artifact
+			// means shared corpus storage is suspect for this job; the
+			// redispatch bypasses the corpus entirely and records live,
+			// which produces the identical digest.
+			if !req.NoCorpus && corpusFailure(view.Error) {
+				req.NoCorpus = true
+				c.metrics.CorpusFallbacks.Add(1)
+			}
 		default:
 			lastErr = err.Error()
 		}
 	}
 	sw.failJob(jb, fmt.Sprintf("exhausted %d dispatch attempts: %s", c.cfg.MaxAttempts, lastErr))
 	c.metrics.JobsFailed.Add(1)
+}
+
+// corpusFailure reports whether a backend's job error names trace
+// corruption or a quarantined corpus artifact — the failure classes the
+// coordinator routes around by re-dispatching the job corpus-free.
+func corpusFailure(msg string) bool {
+	return strings.Contains(msg, "corrupt trace") ||
+		strings.Contains(msg, "quarantine")
 }
 
 // nextBackoff draws the next redispatch delay from the shared jitter

@@ -244,6 +244,79 @@ func TestDigestQuorumMismatchFailsLoudly(t *testing.T) {
 	}
 }
 
+// TestCorpusQuarantineRedispatch: a shard reporting a corrupt/
+// quarantined corpus artifact gets the job back with NoCorpus set, so
+// the retry records live instead of trusting shared storage again.
+func TestCorpusQuarantineRedispatch(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		reqs []service.RunRequest
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var req service.RunRequest
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck // test fake
+		mu.Lock()
+		reqs = append(reqs, req)
+		id := fmt.Sprintf("job-%06d", len(reqs))
+		mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.JobView{ID: id, Kind: "run", State: service.JobQueued, Request: req}) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		mu.Lock()
+		n := len(reqs)
+		var req service.RunRequest
+		if n > 0 {
+			req = reqs[n-1]
+		}
+		mu.Unlock()
+		if id == "job-000001" {
+			// First attempt: the shard's trace artifact turned out rotten.
+			json.NewEncoder(w).Encode(service.JobView{ID: id, Kind: "run", State: service.JobFailed,
+				Error: "run failed: tracefile: corrupt trace (object quarantined)"}) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(service.JobView{ID: id, Kind: "run", State: service.JobDone, //nolint:errcheck
+			Result: &service.RunResult{Workload: req.Workload, Scheme: req.Scheme, IPC: 1.5,
+				StatsDigest: "fnv1a64:feedfacecafebeef", TraceSource: "live"}})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	shard := httptest.NewServer(mux)
+	t.Cleanup(shard.Close)
+
+	c, err := New(fastFleetConfig(shard.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sw, err := c.Submit(oneJobSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := awaitSweep(t, sw, 30*time.Second)
+	if v.State != service.JobDone {
+		t.Fatalf("sweep finished %s: %s", v.State, v.Error)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reqs) < 2 {
+		t.Fatalf("shard saw %d submissions, want >=2", len(reqs))
+	}
+	if reqs[0].NoCorpus {
+		t.Fatal("first dispatch already carried NoCorpus")
+	}
+	if !reqs[1].NoCorpus {
+		t.Fatal("redispatch after quarantine report did not set NoCorpus")
+	}
+	if got := c.Metrics().CorpusFallbacks.Load(); got != 1 {
+		t.Fatalf("CorpusFallbacks = %d, want 1", got)
+	}
+}
+
 // TestRedispatchOnBackendJobFailure: a backend that answers correctly
 // but reports the job failed (its own retry budget burned) must not
 // sink the sweep — the coordinator re-dispatches to the next backend.

@@ -25,6 +25,10 @@ type Metrics struct {
 	QuorumRuns       atomic.Uint64
 	QuorumMismatches atomic.Uint64
 
+	// CorpusFallbacks counts jobs re-dispatched with NoCorpus set after
+	// a backend reported a quarantined/corrupt trace artifact.
+	CorpusFallbacks atomic.Uint64
+
 	ProbeFailures atomic.Uint64
 	JournalErrors atomic.Uint64
 }
@@ -44,6 +48,7 @@ type MetricsSnapshot struct {
 	HedgeWins        uint64 `json:"hedge_wins"`
 	QuorumRuns       uint64 `json:"quorum_runs"`
 	QuorumMismatches uint64 `json:"quorum_mismatches"`
+	CorpusFallbacks  uint64 `json:"corpus_fallbacks"`
 	ProbeFailures    uint64 `json:"probe_failures"`
 	JournalErrors    uint64 `json:"journal_errors"`
 
@@ -66,6 +71,7 @@ func (m *Metrics) Snapshot(backends map[string]service.BreakerStatus) MetricsSna
 		HedgeWins:        m.HedgeWins.Load(),
 		QuorumRuns:       m.QuorumRuns.Load(),
 		QuorumMismatches: m.QuorumMismatches.Load(),
+		CorpusFallbacks:  m.CorpusFallbacks.Load(),
 		ProbeFailures:    m.ProbeFailures.Load(),
 		JournalErrors:    m.JournalErrors.Load(),
 		Backends:         backends,

@@ -23,6 +23,12 @@ type SweepSpec struct {
 	// WarmInstr / MeasureInstr override run length (0 keeps defaults).
 	WarmInstr    uint64 `json:"warm_instr,omitempty"`
 	MeasureInstr uint64 `json:"measure_instr,omitempty"`
+	// CorpusDir resolves jobs through a local content-addressed trace
+	// corpus (self-healing replay; see internal/corpus). It applies to
+	// in-process execution (RunLocal) only and is never forwarded to
+	// backends — each hpserved names its own store via -corpus, since a
+	// coordinator has no business dictating backend filesystem paths.
+	CorpusDir string `json:"-"`
 }
 
 // withDefaults resolves the empty axes.
@@ -113,6 +119,7 @@ func (sp SweepSpec) runConfig() harness.RunConfig {
 	if sp.MeasureInstr > 0 {
 		rc.MeasureInstr = sp.MeasureInstr
 	}
+	rc.CorpusDir = sp.CorpusDir
 	return rc
 }
 

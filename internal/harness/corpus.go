@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"hprefetch/internal/corpus"
+	"hprefetch/internal/sim"
+	"hprefetch/internal/tracefile"
+	"hprefetch/internal/workloads"
+)
+
+// Corpus resolution and self-healing replay.
+//
+// With RunConfig.CorpusDir set, a run with no explicit trace resolves
+// its workload through the content-addressed store: if a published
+// object covers the run's warm+measure window, the run replays from it
+// instead of interpreting the program live. Because replay is
+// digest-identical to live, the corpus is purely an accelerator — and
+// that is exactly what makes corruption handling simple: when an object
+// turns out to be damaged (bit rot, torn tail, swapped extents), the
+// run quarantines it, evicts it from the in-process trace cache, and
+// re-records the identical stream from the live engine, publishing the
+// replacement back into the store. Recording is deterministic, so the
+// replacement is byte-identical to the original object and lands at
+// the same content address. Either way the run's digest never changes;
+// a corrupt artifact costs time, not correctness.
+
+// corpusPathFor resolves workload through the corpus at dir, returning
+// the object path for the best published recording that covers
+// minInstructions ("" = none; fall back to live).
+func corpusPathFor(dir, workload string, minInstructions uint64) string {
+	store, err := corpus.Open(dir)
+	if err != nil {
+		return ""
+	}
+	e, ok := store.Resolve(workload, minInstructions)
+	if !ok {
+		return ""
+	}
+	return store.ObjectPath(e.Key)
+}
+
+// healFlight is one in-progress quarantine+re-record; concurrent runs
+// that trip over the same damaged object share it instead of each
+// re-recording the stream.
+type healFlight struct {
+	done chan struct{}
+	path string // replacement object path ("" when re-record failed)
+	err  error
+}
+
+var (
+	healMu      sync.Mutex
+	healFlights = map[string]*healFlight{}
+)
+
+// healCorpusObject is the self-heal path: quarantine the damaged
+// object, evict it from the trace cache, re-record the workload's
+// stream live and publish it back into the store, and return the
+// replacement's path. Concurrent calls for the same (corpus, workload)
+// share one flight. On failure the caller falls back to pure live
+// simulation — the result is identical either way.
+func healCorpusObject(corpusDir, workload, badPath, reason string, rc RunConfig) (string, error) {
+	key := corpusDir + "\x00" + workload
+	healMu.Lock()
+	if f, ok := healFlights[key]; ok {
+		healMu.Unlock()
+		<-f.done
+		return f.path, f.err
+	}
+	f := &healFlight{done: make(chan struct{})}
+	healFlights[key] = f
+	healMu.Unlock()
+
+	f.path, f.err = healObject(corpusDir, workload, badPath, reason, rc)
+
+	healMu.Lock()
+	delete(healFlights, key)
+	healMu.Unlock()
+	close(f.done)
+	return f.path, f.err
+}
+
+func healObject(corpusDir, workload, badPath, reason string, rc RunConfig) (string, error) {
+	store, err := corpus.Open(corpusDir)
+	if err != nil {
+		return "", err
+	}
+	// Quarantine first so no other process resolves the damaged bytes.
+	// A losing race (another process moved it already) is fine.
+	if _, err := store.QuarantinePath(badPath, reason); err != nil {
+		return "", err
+	}
+	EvictTrace(badPath)
+
+	// Someone may have republished a healthy object between our failed
+	// load and here (the identical stream re-ingests to the identical
+	// address); re-resolve before paying for a recording.
+	target := rc.WarmInstr + rc.MeasureInstr
+	if e, ok := store.Resolve(workload, target); ok {
+		return store.ObjectPath(e.Key), nil
+	}
+
+	tmp, err := os.CreateTemp("", "hpcorpus-heal-*.hpt")
+	if err != nil {
+		return "", err
+	}
+	tmpPath := tmp.Name()
+	tmp.Close()
+	defer os.Remove(tmpPath)
+	rrc := rc
+	rrc.TracePath, rrc.TraceDir, rrc.RecordPath, rrc.CorpusDir = "", "", "", ""
+	rrc.Sample = SampleSpec{}
+	if _, err := RecordTrace(workload, tmpPath, rrc); err != nil {
+		return "", fmt.Errorf("harness: re-recording %s after quarantine: %w", workload, err)
+	}
+	e, _, err := store.Ingest(tmpPath)
+	if err != nil {
+		return "", fmt.Errorf("harness: re-ingesting %s after quarantine: %w", workload, err)
+	}
+	path := store.ObjectPath(e.Key)
+	// A stale negative cache entry for this path may still be live if
+	// the replacement landed at the damaged object's own address (the
+	// usual case: identical stream, identical bytes, identical key).
+	EvictTrace(path)
+	return path, nil
+}
+
+// corpusSource builds the event source for a corpus-resolved run: a
+// replay cursor over the object, or — when the object turns out to be
+// damaged — the self-healed replacement, or the live engine as the
+// last resort. healed reports that damage was detected and survived.
+func corpusSource(workload string, built *workloads.Built, objectPath string, rc RunConfig) (src sim.EventSource, healed bool, err error) {
+	tr, lerr := loadTrace(objectPath)
+	if lerr == nil {
+		if tm := tr.Meta(); tm.Workload != workload || tm.Seed != built.Workload.TraceSeed {
+			lerr = fmt.Errorf("harness: corpus object %s header names workload %q seed %d, manifest resolved it for %q seed %d",
+				objectPath, tm.Workload, tm.Seed, workload, built.Workload.TraceSeed)
+		} else if !tr.Complete() {
+			lerr = fmt.Errorf("harness: corpus object %s: %w (object lost its tail after ingest)", objectPath, tracefile.ErrTruncated)
+		}
+	}
+	if lerr == nil {
+		return tr.Replay(), false, nil
+	}
+
+	// Damage. Heal: quarantine + re-record + republish; never replay a
+	// prefix, never fail the run for an artifact problem the live
+	// engine can route around.
+	healedPath, herr := healCorpusObject(rc.CorpusDir, workload, objectPath, lerr.Error(), rc)
+	if herr == nil && healedPath != "" {
+		if tr, err := loadTraceFresh(healedPath); err == nil {
+			if tm := tr.Meta(); tm.Workload == workload && tm.Seed == built.Workload.TraceSeed && tr.Complete() {
+				return tr.Replay(), true, nil
+			}
+		}
+	}
+	// Live fallback: identical digest, no corpus dependency.
+	return built.EngineOver(built.Loaded), true, nil
+}

@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hprefetch/internal/corpus"
+	"hprefetch/internal/fault"
+)
+
+// corpusRunConfig is the small window every corpus test shares; the
+// recording covers warm+measure, so corpus resolution picks it up.
+func corpusRunConfig() RunConfig {
+	rc := DefaultRunConfig()
+	rc.WarmInstr = 50_000
+	rc.MeasureInstr = 100_000
+	rc.Workloads = []string{"gin"}
+	return rc
+}
+
+// seedCorpus records workload with rc's window and ingests it, returning
+// the store and the published object path.
+func seedCorpus(t *testing.T, dir, workload string, rc RunConfig) (*corpus.Store, string) {
+	t.Helper()
+	store, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), workload+TraceExt)
+	if _, err := RecordTrace(workload, tmp, rc); err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := store.Ingest(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, store.ObjectPath(e.Key)
+}
+
+// TestCorpusReplayMatchesLive: a corpus-resolved run replays the
+// published object and produces the identical digest as the live run;
+// an empty corpus silently degrades to live interpretation.
+func TestCorpusReplayMatchesLive(t *testing.T) {
+	rc := corpusRunConfig()
+	live, err := runOne(context.Background(), "gin", SchemeHier, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rcEmpty := rc
+	rcEmpty.CorpusDir = filepath.Join(t.TempDir(), "empty")
+	res, err := runOne(context.Background(), "gin", SchemeHier, rcEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceSource != "live" || res.Stats.Digest() != live.Stats.Digest() {
+		t.Fatalf("empty corpus: source=%q digest=%s, want live/%s", res.TraceSource, res.Stats.Digest(), live.Stats.Digest())
+	}
+
+	rcC := rc
+	rcC.CorpusDir = filepath.Join(t.TempDir(), "corpus")
+	seedCorpus(t, rcC.CorpusDir, "gin", rc)
+	res, err = runOne(context.Background(), "gin", SchemeHier, rcC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceSource != "corpus" || res.CorpusHealed {
+		t.Fatalf("corpus-backed run: source=%q healed=%v, want corpus/false", res.TraceSource, res.CorpusHealed)
+	}
+	if res.Stats.Digest() != live.Stats.Digest() {
+		t.Fatalf("corpus replay digest %s != live %s", res.Stats.Digest(), live.Stats.Digest())
+	}
+}
+
+// TestCorpusSelfHealsEveryStorageClass is the corruption-resilience
+// loop: for each deterministic storage fault class, a corpus object is
+// damaged in place and the next run must quarantine it, re-record the
+// stream, republish it at the identical content address, and still
+// emit the byte-identical digest — never a silent prefix replay, never
+// a failed run.
+func TestCorpusSelfHealsEveryStorageClass(t *testing.T) {
+	for _, class := range fault.StorageClasses() {
+		t.Run(string(class), func(t *testing.T) {
+			rc := corpusRunConfig()
+			if class == fault.ClassTraceSwapFrames {
+				// Swapping frames needs a recording long enough to span
+				// two of them (~65k events per frame at the default size).
+				rc.MeasureInstr = 900_000
+			}
+			live, err := runOne(context.Background(), "gin", SchemeHier, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(t.TempDir(), "corpus")
+			store, objPath := seedCorpus(t, dir, "gin", rc)
+			clean, err := os.ReadFile(objPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := fault.New(fault.Config{Class: class, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			damaged, err := in.PerturbTrace(append([]byte(nil), clean...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(objPath, damaged, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			EvictTrace(objPath) // the seed ingest never cached it, but be explicit
+
+			rcC := rc
+			rcC.CorpusDir = dir
+			res, err := runOne(context.Background(), "gin", SchemeHier, rcC)
+			if err != nil {
+				t.Fatalf("%s: corpus run failed instead of healing: %v", class, err)
+			}
+			if res.Stats.Digest() != live.Stats.Digest() {
+				t.Fatalf("%s: digest %s != live %s (silent corruption)", class, res.Stats.Digest(), live.Stats.Digest())
+			}
+			if !res.CorpusHealed {
+				t.Fatalf("%s: damage went unnoticed (healed=false, source=%q)", class, res.TraceSource)
+			}
+
+			// The store healed: the damaged bytes are quarantined and the
+			// identical recording is republished at the same address.
+			quar, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+			if err != nil || len(quar) == 0 {
+				t.Fatalf("%s: nothing quarantined (%v)", class, err)
+			}
+			healed, err := os.ReadFile(objPath)
+			if err != nil {
+				t.Fatalf("%s: healed object missing: %v", class, err)
+			}
+			if string(healed) != string(clean) {
+				t.Fatalf("%s: healed object differs from the original recording", class)
+			}
+			if e, ok := store.Resolve("gin", rc.WarmInstr+rc.MeasureInstr); !ok {
+				t.Fatalf("%s: healed object not resolvable", class)
+			} else if err := store.Verify(e); err != nil {
+				t.Fatalf("%s: healed object fails verification: %v", class, err)
+			}
+		})
+	}
+}
+
+// TestCorpusHealSingleflight: concurrent runs tripping over the same
+// damaged object share one quarantine+re-record and all emit the live
+// digest. Run under -race this also pins the heal path's locking.
+func TestCorpusHealSingleflight(t *testing.T) {
+	rc := corpusRunConfig()
+	dir := filepath.Join(t.TempDir(), "corpus")
+	_, objPath := seedCorpus(t, dir, "gin", rc)
+
+	clean, err := os.ReadFile(objPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := fault.New(fault.Config{Class: fault.ClassTraceBitRot, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := in.PerturbTrace(append([]byte(nil), clean...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(objPath, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rcC := rc
+	rcC.CorpusDir = dir
+	schemes := []Scheme{SchemeFDIP, SchemeHier, SchemeEFetch, SchemeEIP}
+	want := map[Scheme]string{}
+	for _, s := range schemes {
+		res, err := runOne(context.Background(), "gin", s, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = res.Stats.Digest()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(schemes))
+	got := make([]*Result, len(schemes))
+	for i, s := range schemes {
+		wg.Add(1)
+		go func(i int, s Scheme) {
+			defer wg.Done()
+			got[i], errs[i] = runOne(context.Background(), "gin", s, rcC)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, s := range schemes {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", s, errs[i])
+		}
+		if got[i].Stats.Digest() != want[s] {
+			t.Errorf("%s: digest %s != live %s", s, got[i].Stats.Digest(), want[s])
+		}
+	}
+	healed, err := os.ReadFile(objPath)
+	if err != nil || string(healed) != string(clean) {
+		t.Fatalf("object not healed back to the original bytes (%v)", err)
+	}
+}
+
+// TestCorpusIgnoredWhenIncompatible: explicit traces, recording and
+// fault injection all bypass corpus resolution — the corpus only ever
+// substitutes for live interpretation of the clean stream.
+func TestCorpusIgnoredWhenIncompatible(t *testing.T) {
+	rc := corpusRunConfig()
+	dir := filepath.Join(t.TempDir(), "corpus")
+	seedCorpus(t, dir, "gin", rc)
+
+	rcF := rc
+	rcF.CorpusDir = dir
+	rcF.Fault = fault.Config{Class: fault.ClassTagFlip, Rate: 0.001, Seed: 1}
+	res, err := runOne(context.Background(), "gin", SchemeHier, rcF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceSource != "live" {
+		t.Fatalf("faulted run used source %q, want live", res.TraceSource)
+	}
+}

@@ -92,6 +92,14 @@ type RunConfig struct {
 	// exclusive with replay; incompatible with fault injection (loader
 	// faults perturb the stream itself).
 	RecordPath string
+	// CorpusDir resolves workloads through a content-addressed trace
+	// corpus (internal/corpus): a run with no explicit TracePath or
+	// TraceDir match replays from the best published object covering
+	// its warm+measure window, falling back to live interpretation when
+	// none exists. A damaged object self-heals — quarantine, re-record,
+	// republish — without changing the run's digest. Ignored for
+	// recording and faulted runs (those need the live engine).
+	CorpusDir string
 
 	// Sample enables interval-sampled simulation over the same stream
 	// extent as an exact run: the warm-up and inter-interval gaps
@@ -158,6 +166,17 @@ type Result struct {
 	// Sample holds the interval-sampling report (coverage and IPC error
 	// bars) for sampled runs; nil for exact runs.
 	Sample *SampleReport
+	// TraceSource reports where the run's event stream came from:
+	// "live", "replay" (explicit TracePath or TraceDir), "corpus"
+	// (resolved through RunConfig.CorpusDir), or "record" (live, teed
+	// to RecordPath).
+	TraceSource string
+	// CorpusHealed reports that the corpus object this run resolved was
+	// damaged and the run self-healed: the artifact was quarantined and
+	// re-recorded (or the run fell back to live simulation). The
+	// statistics are identical either way — this flag is operational
+	// visibility, not a caveat.
+	CorpusHealed bool
 }
 
 // key builds the memoisation key for a run.
@@ -166,7 +185,7 @@ func (rc *RunConfig) key(workload string, scheme Scheme) string {
 	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%v", workload, scheme,
 		rc.WarmInstr, rc.MeasureInstr, rc.ManaLookahead, rc.EFetchLookahead, rc.TrackBundles)
 	fmt.Fprintf(h, "|%s|%g|%d", rc.Fault.Class, rc.Fault.Rate, rc.Fault.Seed)
-	fmt.Fprintf(h, "|%s|%s|%s", rc.TracePath, rc.TraceDir, rc.RecordPath)
+	fmt.Fprintf(h, "|%s|%s|%s|%s", rc.TracePath, rc.TraceDir, rc.RecordPath, rc.CorpusDir)
 	fmt.Fprintf(h, "|%d|%d|%d|%d", rc.Sample.WarmInstr, rc.Sample.MeasureInstr, rc.Sample.SkipInstr, rc.Sample.Seed)
 	fmt.Fprintf(h, "%+v", rc.Params)
 	if rc.HierConfig != nil {
@@ -279,12 +298,18 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 	}
 
 	// Event-source selection: explicit replay beats directory-resolved
-	// replay beats live interpretation. Replay, record and fault
-	// injection do not mix — a teed or replayed stream must be the clean
-	// one the trace header promises.
+	// replay beats corpus-resolved replay beats live interpretation.
+	// Replay, record and fault injection do not mix — a teed or replayed
+	// stream must be the clean one the trace header promises.
 	tracePath := rc.TracePath
 	if tracePath == "" && rc.TraceDir != "" {
 		tracePath = tracePathFor(rc.TraceDir, workload)
+	}
+	fromCorpus := false
+	if tracePath == "" && rc.CorpusDir != "" && rc.RecordPath == "" && !rc.Fault.Enabled() {
+		if p := corpusPathFor(rc.CorpusDir, workload, rc.WarmInstr+rc.MeasureInstr); p != "" {
+			tracePath, fromCorpus = p, true
+		}
 	}
 	if tracePath != "" && rc.RecordPath != "" {
 		return nil, fmt.Errorf("harness: %s/%s: trace replay and recording are mutually exclusive", workload, scheme)
@@ -311,7 +336,18 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 	var src sim.EventSource
 	var rec *tracefile.Recorder
 	finished := false
+	traceSource := "live"
+	corpusHealed := false
 	switch {
+	case fromCorpus:
+		// Corpus objects self-heal on damage instead of failing the run;
+		// an explicit TracePath stays fail-stop (below) because the user
+		// asked for that exact file.
+		src, corpusHealed, err = corpusSource(workload, built, tracePath, rc)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", workload, scheme, err)
+		}
+		traceSource = "corpus"
 	case tracePath != "":
 		tr, err := loadTrace(tracePath)
 		if err != nil {
@@ -322,6 +358,7 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 				workload, scheme, tracePath, tm.Workload, tm.Seed, workload, built.Workload.TraceSeed)
 		}
 		src = tr.Replay()
+		traceSource = "replay"
 	case rc.RecordPath != "":
 		meta := tracefile.Meta{
 			Workload:           workload,
@@ -338,6 +375,7 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 			}
 		}()
 		src = rec
+		traceSource = "record"
 	default:
 		src = built.EngineOver(ld)
 	}
@@ -397,7 +435,7 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s/%s sampled: %w", workload, scheme, err)
 		}
-		res = &Result{Stats: agg, Sample: rep, TagDrops: ld.TagDrops}
+		res = &Result{Stats: agg, Sample: rep, TagDrops: ld.TagDrops, TraceSource: traceSource, CorpusHealed: corpusHealed}
 		if hier != nil {
 			res.Bundle = hier.BundleSummary()
 			res.BundleRejects = hier.Counters.BundleRejects
@@ -420,7 +458,7 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		}
 		finished = true
 	}
-	res = &Result{Stats: m.Stats(), TagDrops: ld.TagDrops}
+	res = &Result{Stats: m.Stats(), TagDrops: ld.TagDrops, TraceSource: traceSource, CorpusHealed: corpusHealed}
 	if hier != nil {
 		res.Bundle = hier.BundleSummary()
 		res.BundleRejects = hier.Counters.BundleRejects

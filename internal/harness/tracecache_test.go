@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -69,4 +70,90 @@ func TestTraceCacheRereadsInPlaceRewrite(t *testing.T) {
 	if l2.Meta().Seed != 1002 {
 		t.Errorf("stale decode served after in-place rewrite: seed %d, want 1002", l2.Meta().Seed)
 	}
+}
+
+// TestTraceCacheNegativeCaching extends the staleness contract to
+// decode failures: a corrupt trace is negative-cached briefly (every
+// job of a sweep is about to trip over the same bytes), the self-heal
+// path's loadTraceFresh bypasses that entry, and an expired TTL or an
+// explicit eviction drops it. The damage sits beyond the header, so the
+// fingerprint cannot distinguish the corrupt bytes from the repaired
+// ones — exactly the case the TTL and the bypass exist for.
+func TestTraceCacheNegativeCaching(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gin"+TraceExt)
+	built, err := workloads.Build("gin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 50_000
+	meta := tracefile.Meta{Workload: "gin", Seed: built.Workload.TraceSeed, TargetInstructions: target}
+	if _, err := tracefile.Record(path, built.NewEngine(), meta, target, 8, tracefile.Options{FrameEvents: 256}); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := tracefile.LayoutOf(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), clean...)
+	mid := lo.Frames[len(lo.Frames)/2]
+	corrupt[mid.Off+4+mid.Len/2] ^= 0x20 // frame interior: fingerprint unchanged
+
+	fpClean, _ := tracefile.HeaderFingerprint(path)
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fp, _ := tracefile.HeaderFingerprint(path); fp != fpClean {
+		t.Fatalf("fixture broke: corruption changed the fingerprint (%s vs %s)", fp, fpClean)
+	}
+
+	EvictTrace(path)
+	_, err1 := loadTrace(path)
+	if !errors.Is(err1, tracefile.ErrCorrupt) {
+		t.Fatalf("corrupt trace loaded with err=%v, want ErrCorrupt", err1)
+	}
+
+	// Repair in place. Same fingerprint, so only the negative entry's
+	// TTL or a bypass can see the fresh bytes.
+	if err := os.WriteFile(path, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err2 := loadTrace(path)
+	if err2 == nil {
+		t.Fatal("negative entry not served within its TTL")
+	}
+	if !errors.Is(err2, tracefile.ErrCorrupt) {
+		t.Fatalf("negative hit returned %v, want the cached ErrCorrupt", err2)
+	}
+
+	// The heal path's bypass decodes fresh and replaces the entry...
+	if _, err := loadTraceFresh(path); err != nil {
+		t.Fatalf("loadTraceFresh after repair: %v", err)
+	}
+	// ...so ordinary loads see the repaired trace too.
+	if _, err := loadTrace(path); err != nil {
+		t.Fatalf("loadTrace after fresh reload: %v", err)
+	}
+
+	// An expired TTL re-decodes without any bypass.
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	EvictTrace(path)
+	defer func(d time.Duration) { traceNegTTL = d }(traceNegTTL)
+	traceNegTTL = 0
+	if _, err := loadTrace(path); !errors.Is(err, tracefile.ErrCorrupt) {
+		t.Fatalf("corrupt reload: %v", err)
+	}
+	if err := os.WriteFile(path, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace(path); err != nil {
+		t.Fatalf("zero-TTL negative entry still served: %v", err)
+	}
+	EvictTrace(path)
 }

@@ -67,6 +67,12 @@ type RunRequest struct {
 	// the harness sampling docs). Validated at submission; empty runs
 	// exact.
 	Sample string `json:"sample,omitempty"`
+	// NoCorpus skips the server's corpus resolution (-corpus) for this
+	// job, forcing live interpretation when no explicit trace_path is
+	// given. The fleet coordinator sets it when re-dispatching a job
+	// whose shard reported a quarantined corpus object, so the retry
+	// cannot trip over shared damaged storage again.
+	NoCorpus bool `json:"no_corpus,omitempty"`
 }
 
 // RunResult summarises a completed simulation for the API.
@@ -95,6 +101,13 @@ type RunResult struct {
 	SampleIPCMean      float64 `json:"sample_ipc_mean,omitempty"`
 	SampleIPCStdErr    float64 `json:"sample_ipc_stderr,omitempty"`
 	SampleDetailedFrac float64 `json:"sample_detailed_frac,omitempty"`
+	// TraceSource reports where the run's event stream came from
+	// ("live", "replay", "corpus", "record"); empty on results computed
+	// by builds that predate it. CorpusHealed marks runs that found
+	// their corpus object damaged and self-healed (quarantine +
+	// re-record) — the statistics are identical to a clean run's.
+	TraceSource  string `json:"trace_source,omitempty"`
+	CorpusHealed bool   `json:"corpus_healed,omitempty"`
 }
 
 // TableResult is a rendered experiment table for the API.

@@ -42,12 +42,13 @@ const journalMagic = 0x4850_4A4C_0001_0001
 // journalVersion is the current journal format version. v2 added
 // RunRequest.TracePath to submit records; v3 added RunRequest.Schemes
 // (fleet sweep jobs) and the opAssign backend-assignment record; v4
-// added RunRequest.Sample (interval-sampled runs). Decoding is
-// exact-consumption, so journals from other versions are rejected at
-// startup — with an error naming both versions and the remediation —
-// rather than misread (operators drain or delete the old journal
-// before upgrading).
-const journalVersion = 4
+// added RunRequest.Sample (interval-sampled runs); v5 added
+// RunRequest.NoCorpus (the coordinator's corpus-bypass re-dispatch
+// flag). Decoding is exact-consumption, so journals from other
+// versions are rejected at startup — with an error naming both
+// versions and the remediation — rather than misread (operators drain
+// or delete the old journal before upgrading).
+const journalVersion = 5
 
 const journalHeaderSize = 10
 
@@ -245,6 +246,7 @@ func encodeJournalPayload(rec journalRecord) ([]byte, error) {
 			w.str(sc)
 		}
 		w.str(q.Sample)
+		w.boolean(q.NoCorpus)
 	case opStart:
 		w.u32(rec.Attempt)
 	case opFinish:
@@ -301,6 +303,7 @@ func decodeJournalPayload(payload []byte) (journalRecord, error) {
 			}
 		}
 		q.Sample = r.str()
+		q.NoCorpus = r.boolean()
 	case opStart:
 		rec.Attempt = r.u32()
 	case opFinish:

@@ -93,6 +93,13 @@ type Config struct {
 	// Chaos injects service-level faults into job execution
 	// (fault.ServiceClasses); dev/test only. The zero value disables it.
 	Chaos fault.Config
+
+	// CorpusDir resolves jobs without an explicit trace_path through a
+	// shared content-addressed trace corpus (see internal/corpus):
+	// workloads with a published object replay from it, damaged objects
+	// self-heal, everything else runs live. Empty disables corpus
+	// resolution.
+	CorpusDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -545,6 +552,8 @@ func ComputeRunResult(ctx context.Context, workload, scheme string, rc harness.R
 		LateFraction:     r.Stats.PFLateFraction(),
 		AvgDistance:      r.Stats.PFAvgDistance(),
 		StatsDigest:      r.Stats.Digest(),
+		TraceSource:      r.TraceSource,
+		CorpusHealed:     r.CorpusHealed,
 	}
 	if r.Sample != nil {
 		out.SampleIntervals = r.Sample.Intervals
@@ -693,6 +702,12 @@ func (s *Server) buildRunConfig(req *RunRequest) (harness.RunConfig, time.Durati
 			return rc, 0, fmt.Errorf("sample: %w", err)
 		}
 		rc.Sample = sp
+	}
+	if s.cfg.CorpusDir != "" && !req.NoCorpus {
+		// Corpus resolution is a fallback, not an override: an explicit
+		// trace_path wins, and the harness skips the corpus for faulted
+		// or recording runs.
+		rc.CorpusDir = s.cfg.CorpusDir
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {

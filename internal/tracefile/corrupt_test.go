@@ -1,0 +1,186 @@
+package tracefile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// layoutFor records a small multi-frame trace and returns its bytes and
+// structural layout.
+func layoutFor(t *testing.T, workload string) (string, []byte, FileLayout, Summary) {
+	t.Helper()
+	path, sum := recordSmall(t, workload, 30_000, 256)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := LayoutOf(data)
+	if err != nil {
+		t.Fatalf("LayoutOf on a clean trace: %v", err)
+	}
+	if len(lo.Frames) < 3 {
+		t.Fatalf("need several frames for interior corruption, got %d", len(lo.Frames))
+	}
+	if len(lo.Frames) != sum.Frames {
+		t.Fatalf("layout found %d frames, summary says %d", len(lo.Frames), sum.Frames)
+	}
+	return path, data, lo, sum
+}
+
+// writeVariant writes a mutated copy of a trace image.
+func writeVariant(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// drain streams a reader to its end and returns the delivered event
+// count and terminal error.
+func drain(t *testing.T, path string) (int, error) {
+	t.Helper()
+	r, err := Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	n := 0
+	for {
+		if ev := r.Next(); ev.NumInstr == 0 {
+			break
+		}
+		n++
+	}
+	return n, r.Err()
+}
+
+// TestInteriorFlipIsCorrupt is the regression test for the
+// ErrCorrupt/ErrTruncated split: a single flipped byte in an interior
+// frame must abort replay with ErrCorrupt — never ErrTruncated, which
+// the prefix-replay path tolerates, and never a silently shortened
+// stream.
+func TestInteriorFlipIsCorrupt(t *testing.T) {
+	_, data, lo, sum := layoutFor(t, "gin")
+	dir := t.TempDir()
+
+	mid := lo.Frames[len(lo.Frames)/2]
+	flipped := append([]byte(nil), data...)
+	flipped[mid.Off+4+mid.Len/2] ^= 0x10 // interior payload byte
+	p := writeVariant(t, dir, "flip.hpt", flipped)
+
+	n, err := drain(t, p)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("interior flip: terminal error %v, want ErrCorrupt", err)
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatalf("interior flip still satisfies errors.Is(_, ErrTruncated): %v", err)
+	}
+	if uint64(n) >= sum.Events {
+		t.Fatalf("corrupt trace delivered the full stream (%d events)", n)
+	}
+
+	// Load must fail-stop: no prefix is handed out for a corrupt trace.
+	if _, err := Load(p); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of a corrupt trace: err=%v, want ErrCorrupt", err)
+	}
+
+	// A genuinely torn tail keeps its truncation semantics (and Load
+	// still serves the intact prefix).
+	torn := data[:lo.Frames[len(lo.Frames)-1].Off+7]
+	tp := writeVariant(t, dir, "torn.hpt", torn)
+	if _, err := drain(t, tp); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn tail: terminal error %v, want ErrTruncated", err)
+	}
+	if l, err := Load(tp); err != nil {
+		t.Fatalf("Load of a torn trace: %v", err)
+	} else if l.Complete() {
+		t.Fatal("torn trace loaded as complete")
+	}
+}
+
+// TestLengthFieldFlipIsCorrupt flips a byte of an interior record's
+// length prefix. Before the split this read as a torn tail; in a sealed
+// trace it must be corruption.
+func TestLengthFieldFlipIsCorrupt(t *testing.T) {
+	_, data, lo, _ := layoutFor(t, "echo")
+	mid := lo.Frames[len(lo.Frames)/2]
+	for _, bit := range []byte{0x01, 0x80} {
+		mut := append([]byte(nil), data...)
+		mut[mid.Off+1] ^= bit
+		p := writeVariant(t, t.TempDir(), "len.hpt", mut)
+		if _, err := drain(t, p); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("length-field flip (bit %#x): terminal error %v, want ErrCorrupt", bit, err)
+		}
+	}
+}
+
+// TestSwappedFramesAreCorrupt swaps two adjacent frame records. Every
+// record stays checksum-clean, so only the frame-continuity check can
+// catch it — and must, as corruption.
+func TestSwappedFramesAreCorrupt(t *testing.T) {
+	_, data, lo, _ := layoutFor(t, "gin")
+	a, b := lo.Frames[1], lo.Frames[2]
+	mut := append([]byte(nil), data[:a.Off]...)
+	mut = append(mut, data[b.Off:b.Off+b.Len]...)
+	mut = append(mut, data[a.Off:a.Off+a.Len]...)
+	mut = append(mut, data[b.Off+b.Len:]...)
+	p := writeVariant(t, t.TempDir(), "swap.hpt", mut)
+	if _, err := drain(t, p); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("swapped frames: terminal error %v, want ErrCorrupt", err)
+	}
+}
+
+// TestVerifyDeep checks the deep verifier: clean traces pass with
+// totals matching the recording, any damage fails.
+func TestVerifyDeep(t *testing.T) {
+	path, data, lo, sum := layoutFor(t, "gin")
+	info, err := VerifyDeep(path)
+	if err != nil {
+		t.Fatalf("VerifyDeep on a clean trace: %v", err)
+	}
+	if info.Events != sum.Events || info.Instructions != sum.Instructions || info.Frames != sum.Frames {
+		t.Fatalf("VerifyDeep totals %+v disagree with summary %+v", info, sum)
+	}
+
+	dir := t.TempDir()
+	flip := append([]byte(nil), data...)
+	flip[lo.Frames[0].Off+6] ^= 0x04
+	if _, err := VerifyDeep(writeVariant(t, dir, "flip.hpt", flip)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("VerifyDeep on a flipped trace: %v, want ErrCorrupt", err)
+	}
+	if _, err := VerifyDeep(writeVariant(t, dir, "torn.hpt", data[:len(data)-trailerSize-3])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("VerifyDeep on a torn trace: %v, want ErrTruncated", err)
+	}
+	// Trailer damage on an otherwise intact file: the index is
+	// unreachable, which VerifyDeep refuses (the trace cannot vouch for
+	// its own completeness).
+	tr := append([]byte(nil), data...)
+	tr[len(tr)-1] ^= 0xFF
+	if _, err := VerifyDeep(writeVariant(t, dir, "trailer.hpt", tr)); err == nil {
+		t.Fatal("VerifyDeep accepted a damaged trailer")
+	}
+}
+
+// TestLayoutOfRejectsDamage spot-checks the shallow structural walk.
+func TestLayoutOfRejectsDamage(t *testing.T) {
+	_, data, lo, _ := layoutFor(t, "echo")
+	end := lo.Frames[0].Off + lo.Frames[0].Len
+	variants := map[string][]byte{
+		"flip":    append(append([]byte(nil), data[:end-2]...), data[end-2:]...),
+		"torn":    data[:len(data)-4],
+		"magic":   append([]byte(nil), data...),
+		"trailer": append([]byte(nil), data...),
+	}
+	variants["flip"][lo.Frames[0].Off+9] ^= 0x01
+	variants["magic"][0] ^= 0x01
+	variants["trailer"][len(data)-2] ^= 0x01
+	for name, mut := range variants {
+		if _, err := LayoutOf(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("LayoutOf(%s): err=%v, want ErrCorrupt", name, err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package tracefile
 
 import (
+	"errors"
+	"fmt"
+
 	"hprefetch/internal/isa"
 )
 
@@ -27,7 +30,9 @@ type Loaded struct {
 // Load decodes an entire trace into memory. A torn tail is not an
 // error here either: the intact prefix loads and every cursor reports
 // the truncation (via Err) once it runs past the end, mirroring the
-// streaming Reader's contract.
+// streaming Reader's contract. Corruption is different: a trace whose
+// decode ends in ErrCorrupt fails Load outright — a damaged trace must
+// never yield a replayable prefix.
 func Load(path string) (*Loaded, error) {
 	r, err := Open(path)
 	if err != nil {
@@ -50,6 +55,9 @@ func Load(path string) (*Loaded, error) {
 		}
 		l.events = append(l.events, ev)
 		l.attrs = append(l.attrs, r.cur)
+	}
+	if errors.Is(r.Err(), ErrCorrupt) {
+		return nil, fmt.Errorf("tracefile: %s: %w", path, r.Err())
 	}
 	l.term = r.Err()
 	l.reqID = make([]uint64, len(l.events))

@@ -23,9 +23,12 @@ import (
 //	ev := r.Next()
 //	if ev.NumInstr == 0 { /* stream over: inspect r.Err() */ }
 //
-// Err is ErrExhausted after the clean end of a complete trace and wraps
-// ErrTruncated when the file was cut mid-write — every event of the
-// intact prefix has been delivered by then.
+// Err is ErrExhausted after the clean end of a complete trace, wraps
+// ErrTruncated when the file was cut mid-write (every event of the
+// intact prefix has been delivered by then), and wraps ErrCorrupt when
+// the bytes are damaged in place — a failed record checksum, a bad
+// varint, a footer mismatch, or a frame discontinuity. Corruption is
+// fail-stop: the prefix already delivered must not be trusted.
 type Reader struct {
 	f    *os.File
 	meta Meta
@@ -50,6 +53,7 @@ type Reader struct {
 	off    int64 // next unread record offset
 	first  int64 // offset of the first frame record
 	frames int   // frames decoded so far
+	sealed bool  // file ends with a valid trailer (completely written)
 	index  []frameEntry
 	total  Summary // valid when index != nil
 	err    error   // terminal condition, sticky
@@ -69,6 +73,7 @@ func Open(path string) (*Reader, error) {
 		return nil, err
 	}
 	r := &Reader{f: f, size: st.Size()}
+	r.sealed = r.probeSealed()
 
 	prefix := make([]byte, headerPrefixSize)
 	if _, err := io.ReadFull(f, prefix); err != nil {
@@ -115,7 +120,8 @@ func (r *Reader) Indexed() bool { return r.index != nil }
 
 // Err returns the terminal condition once the stream has ended:
 // ErrExhausted after a complete trace, an error wrapping ErrTruncated
-// after a torn one, nil while events remain.
+// after a torn one, an error wrapping ErrCorrupt after in-place damage,
+// nil while events remain.
 func (r *Reader) Err() error {
 	if r.pos < len(r.events) {
 		return nil
@@ -192,29 +198,61 @@ func (r *Reader) fail(err error) {
 	}
 }
 
+// probeSealed reports whether the file ends with a valid trailer. A
+// sealed file was completely written, so a record that later runs past
+// EOF cannot be a torn tail — it is corruption (a damaged length field
+// mid-file), and readRecord classifies it as such.
+func (r *Reader) probeSealed() bool {
+	if r.size < headerPrefixSize+trailerSize {
+		return false
+	}
+	var tr [trailerSize]byte
+	if _, err := r.f.ReadAt(tr[:], r.size-trailerSize); err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint64(tr[8:]) == trailerMagic
+}
+
+// tornOrCorrupt classifies a record that runs past EOF: in an unsealed
+// file that is the torn tail of an interrupted recording (ErrTruncated);
+// in a sealed file every record was once whole, so it is damage in place
+// (ErrCorrupt).
+func (r *Reader) tornOrCorrupt(what string) error {
+	if r.sealed {
+		return corruptf("%s inside a sealed trace at offset %d", what, r.off)
+	}
+	return fmt.Errorf("%w (%s at offset %d)", ErrTruncated, what, r.off)
+}
+
 // readRecord reads the length-prefixed, CRC-guarded record at r.off and
 // advances past it. The returned slice aliases the reader's scratch
-// buffer and is valid only until the next call. Errors distinguish torn
-// tails (wrapping ErrTruncated) from checksum-valid corruption.
+// buffer and is valid only until the next call. Errors distinguish a
+// torn tail (wrapping ErrTruncated: the record runs past a clean EOF in
+// an unsealed file) from damage in place (wrapping ErrCorrupt: a failed
+// checksum, an implausible length field, or structural damage inside a
+// sealed file).
 func (r *Reader) readRecord() ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := r.f.ReadAt(lenBuf[:], r.off); err != nil {
-		return nil, fmt.Errorf("%w (file ends at record boundary %d)", ErrTruncated, r.off)
+		return nil, r.tornOrCorrupt("file ends at record boundary")
 	}
 	n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
-	if n > maxRecordBytes || n > r.size-r.off-8 {
-		return nil, fmt.Errorf("%w (torn record at offset %d)", ErrTruncated, r.off)
+	if n > maxRecordBytes {
+		return nil, corruptf("implausible record length %d at offset %d", n, r.off)
+	}
+	if n > r.size-r.off-8 {
+		return nil, r.tornOrCorrupt("torn record")
 	}
 	if int64(cap(r.rec)) < n+4 {
 		r.rec = make([]byte, n+4)
 	}
 	buf := r.rec[:n+4]
 	if _, err := r.f.ReadAt(buf, r.off+4); err != nil {
-		return nil, fmt.Errorf("%w (torn record at offset %d)", ErrTruncated, r.off)
+		return nil, r.tornOrCorrupt("torn record")
 	}
 	payload := buf[:n]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[n:]) {
-		return nil, fmt.Errorf("%w (bad checksum at offset %d)", ErrTruncated, r.off)
+		return nil, corruptf("bad checksum at offset %d", r.off)
 	}
 	r.off += 4 + n + 4
 	return payload, nil
@@ -262,11 +300,11 @@ func (r *Reader) loadFrame(sync bool) {
 	}
 	payload, err := r.readRecord()
 	if err != nil {
-		r.fail(err) // already carries the tracefile: prefix via ErrTruncated
+		r.fail(err) // already wraps ErrTruncated or ErrCorrupt
 		return
 	}
 	if len(payload) == 0 {
-		r.fail(fmt.Errorf("tracefile: empty record at offset %d", r.off))
+		r.fail(corruptf("empty record at offset %d", r.off))
 		return
 	}
 	switch payload[0] {
@@ -275,13 +313,13 @@ func (r *Reader) loadFrame(sync bool) {
 		return
 	case recTypeFrame:
 	default:
-		r.fail(fmt.Errorf("tracefile: unknown record type %d", payload[0]))
+		r.fail(corruptf("unknown record type %d at offset %d", payload[0], r.off))
 		return
 	}
 	br := &breader{buf: payload, off: 1}
 	bodyLen := br.uvarint()
 	if br.err != nil || bodyLen > maxRecordBytes {
-		r.fail(fmt.Errorf("tracefile: corrupt frame length at offset %d", r.off))
+		r.fail(corruptf("corrupt frame length at offset %d", r.off))
 		return
 	}
 	if uint64(cap(r.body)) < bodyLen {
@@ -292,30 +330,30 @@ func (r *Reader) loadFrame(sync bool) {
 	if r.zr == nil {
 		r.zr = flate.NewReader(&r.zsrc)
 	} else if err := r.zr.(flate.Resetter).Reset(&r.zsrc, nil); err != nil {
-		r.fail(fmt.Errorf("tracefile: resetting decompressor: %v", err))
+		r.fail(corruptf("resetting decompressor: %v", err))
 		return
 	}
 	if _, err := io.ReadFull(r.zr, body); err != nil {
-		r.fail(fmt.Errorf("tracefile: corrupt frame data: %v", err))
+		r.fail(corruptf("corrupt frame data: %v", err))
 		return
 	}
 	var over [1]byte
 	if n, _ := r.zr.Read(over[:]); n != 0 {
-		r.fail(fmt.Errorf("tracefile: frame longer than declared"))
+		r.fail(corruptf("frame longer than declared"))
 		return
 	}
 	start, events, attrs, err := decodeFrameBodyInto(body, r.events[:0], r.attrs[:0])
 	if err != nil {
-		r.fail(err)
+		r.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
 		return
 	}
 	if len(events) == 0 {
-		r.fail(fmt.Errorf("tracefile: empty frame"))
+		r.fail(corruptf("empty frame"))
 		return
 	}
 	if sync || r.loaded {
 		if start.Instr != r.instr || start.A != r.cur {
-			r.fail(fmt.Errorf("tracefile: frame discontinuity at instruction %d", r.instr))
+			r.fail(corruptf("frame discontinuity at instruction %d", r.instr))
 			return
 		}
 	} else {

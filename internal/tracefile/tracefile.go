@@ -75,13 +75,28 @@ const (
 // feed any scheme's lookahead across the same warm+measure window.
 const TailEvents = 4096
 
-// ErrTruncated reports a trace whose tail is torn or missing: every
-// event up to the last complete frame was replayed, the rest of the
-// file is unusable.
+// ErrTruncated reports a trace whose tail is torn or missing — a clean
+// EOF mid-record, the signature of a recording interrupted mid-write.
+// Every event up to the last complete frame was replayed; the readable
+// prefix is trustworthy, only the tail is gone.
 var ErrTruncated = errors.New("tracefile: truncated trace")
+
+// ErrCorrupt reports a trace whose bytes are damaged in place: a record
+// checksum that does not match its payload, a malformed or non-minimal
+// varint, a frame-counter footer disagreeing with the decoded events, a
+// stream discontinuity between frames, or structural damage inside a
+// sealed (trailer-carrying) file. Unlike ErrTruncated, corruption means
+// the readable prefix cannot be trusted either — consumers must fail
+// stop and never replay a prefix of a corrupt trace.
+var ErrCorrupt = errors.New("tracefile: corrupt trace")
 
 // ErrExhausted reports reading past the clean end of a complete trace.
 var ErrExhausted = errors.New("tracefile: trace exhausted")
+
+// corruptf wraps ErrCorrupt with a located description.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
 
 // Meta identifies what a trace was recorded from. Replay validates
 // workload and seed so a trace can never silently stand in for a
