@@ -263,6 +263,23 @@ func measure(iters int) (map[string]float64, []rawRecord, error) {
 	raws = append(raws, thr)
 	metrics["sim_minstr_per_sec"] = float64(thrInstr) / (float64(thr.BestNS) / 1e9) / 1e6
 
+	// Governed-GHB throughput on the same window: the feedback governor
+	// samples stats once per interval, so adaptive throttling should cost
+	// roughly nothing over a static run. Informational (not gated) — it
+	// exists so a regression that makes the governor hot shows up in the
+	// bench report before anyone chases it in a profile.
+	rcG := rcT
+	rcG.Governed = true
+	gov, err := timeRun("governed-ghb", thrInstr, iters, func() error {
+		_, err := harness.RunUncached("gin", harness.SchemeGHB, rcG)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	raws = append(raws, gov)
+	metrics["governed_ghb_minstr_per_sec"] = float64(thrInstr) / (float64(gov.BestNS) / 1e9) / 1e6
+
 	// Sampled vs exact on the full default sweep window (4M warm + 8M
 	// measure): the exact protocol a user would otherwise run (live,
 	// detailed throughout) against the durable pipeline this PR adds —

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hpsim -list                            # every workload and experiment id
+//	hpsim -list                            # every workload, scheme and experiment id
 //	hpsim -experiment fig9                 # regenerate one figure
 //	hpsim -experiment all                  # the whole evaluation
 //	hpsim -experiment microservice -quick  # chain suite with per-request tails
@@ -19,6 +19,9 @@
 //	hpsim -sweep -corpus corpus/ -quick      # corpus-resolved, self-healing replay
 //	hpsim -workload gin -sample 50000,100000,800000  # interval-sampled run
 //	hpsim -sweep -workloads gin,echo -schemes FDIP,Hierarchical -quick
+//	hpsim -workload tidb-tpcc -scheme GHB -degree 4   # static degree override
+//	hpsim -workload tidb-tpcc -scheme GHB -governed   # adaptive feedback throttling
+//	hpsim -experiment throttling -quick               # static sweep vs governor table
 //
 // -sweep renders the same workload × scheme IPC table a fleet
 // coordinator (hpserved -coordinator) aggregates across backends;
@@ -48,7 +51,7 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "", "experiment id ("+strings.Join(hprefetch.ExperimentIDs(), ", ")+") or 'all'")
 		workload   = flag.String("workload", "", "single-run mode: workload name ("+strings.Join(hprefetch.AllWorkloads(), ", ")+")")
-		scheme     = flag.String("scheme", "Hierarchical", "single-run mode: FDIP, EFetch, MANA, EIP, Hierarchical, PerfectL1I")
+		scheme     = flag.String("scheme", "Hierarchical", "single-run mode: one of "+schemeNames())
 		warm       = flag.Uint64("warm", 0, "warmup instructions (0 = default)")
 		measure    = flag.Uint64("measure", 0, "measured instructions (0 = default)")
 		quick      = flag.Bool("quick", false, "fast smoke configuration")
@@ -64,7 +67,9 @@ func main() {
 		corpusDir  = flag.String("corpus", "", "resolve workloads through the content-addressed trace corpus at this directory (self-healing replay)")
 		sweep      = flag.Bool("sweep", false, "run a workload × scheme IPC sweep (the table a fleet coordinator produces)")
 		schemes    = flag.String("schemes", "", "comma-separated scheme subset for -sweep (default: all evaluated schemes)")
-		list       = flag.Bool("list", false, "print every known workload and experiment id (sorted) and exit")
+		list       = flag.Bool("list", false, "print every known workload, scheme and experiment id (sorted) and exit")
+		degree     = flag.Int("degree", 0, "static prefetch degree override for tunable schemes (0 = scheme default)")
+		governed   = flag.Bool("governed", false, "attach the adaptive feedback throttling governor (tunable schemes only)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,15 @@ func main() {
 		fmt.Println("workloads:")
 		for _, w := range hprefetch.AllWorkloads() {
 			fmt.Println("  " + w)
+		}
+		names := make([]string, 0, len(hprefetch.AllSchemes()))
+		for _, s := range hprefetch.AllSchemes() {
+			names = append(names, string(s))
+		}
+		sort.Strings(names)
+		fmt.Println("schemes:")
+		for _, s := range names {
+			fmt.Println("  " + s)
 		}
 		ids := append([]string{}, hprefetch.ExperimentIDs()...)
 		sort.Strings(ids)
@@ -92,6 +106,8 @@ func main() {
 		TraceDir:            *tracedir,
 		CorpusDir:           *corpusDir,
 		Sample:              *sample,
+		PFDegree:            *degree,
+		Governed:            *governed,
 	}
 	if *only != "" {
 		opt.Workloads = strings.Split(*only, ",")
@@ -137,6 +153,17 @@ func main() {
 			fmt.Printf("sampling:  %d intervals, IPC %.3f ± %.3f, %.0f%% detailed\n",
 				st.SampleIntervals, st.SampleIPCMean, st.SampleIPCStdErr, st.SampleDetailedFrac*100)
 		}
+		if st.GovernorIntervals > 0 {
+			fmt.Printf("governor:  %d intervals, %d up / %d down, final %s\n",
+				st.GovernorIntervals, st.GovernorStepUps, st.GovernorStepDowns, st.GovernorFinalLevel)
+			if st.GovernorSchedule != "" {
+				fmt.Printf("schedule:  %s\n", st.GovernorSchedule)
+			}
+		}
+		if st.TLBDropped > 0 {
+			fmt.Printf("tlb:       %.1f%% candidate pages missed, %d prefetches dropped\n",
+				st.TLBMissFraction*100, st.TLBDropped)
+		}
 		fmt.Printf("branches:  %.2f MPKI   L1-I clean misses: %.2f MPKI\n", st.BranchMPKI, st.L1IMPKI)
 		if st.Scheme != hprefetch.FDIP && st.Scheme != hprefetch.PerfectL1I {
 			fmt.Printf("prefetch:  acc %.1f%%  covL1 %.1f%%  covL2 %.1f%%  late %.1f%%  dist %.1f blocks\n",
@@ -178,4 +205,13 @@ func emit(t *hprefetch.Table, format string, digest bool) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hpsim:", err)
 	os.Exit(1)
+}
+
+// schemeNames renders the full scheme registry for flag help.
+func schemeNames() string {
+	names := make([]string, 0, len(hprefetch.AllSchemes()))
+	for _, s := range hprefetch.AllSchemes() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
 }

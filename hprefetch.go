@@ -47,11 +47,31 @@ const (
 	Hierarchical Scheme = "Hierarchical"
 	// PerfectL1I is the all-hits upper bound.
 	PerfectL1I Scheme = "PerfectL1I"
+	// GHB is the history-buffer baseline: a classic Global History
+	// Buffer instruction prefetcher (discontinuity-trained footprint
+	// spray) used as the throttling experiment's tunable substrate.
+	GHB Scheme = "GHB"
+	// GHBTLB is the TLB-aware GHB variant: candidate prefetches whose
+	// page misses the I-TLB are dropped instead of issued, trading
+	// coverage for pollution immunity.
+	GHBTLB Scheme = "GHB-TLB"
 )
 
 // Schemes lists the evaluated schemes in figure order.
 func Schemes() []Scheme {
 	return []Scheme{FDIP, EFetch, MANA, EIP, Hierarchical}
+}
+
+// AllSchemes lists every runnable scheme — the evaluated set plus the
+// PerfectL1I bound and the GHB-family baselines — in registry order
+// (stable across processes).
+func AllSchemes() []Scheme {
+	in := harness.AllSchemes()
+	out := make([]Scheme, len(in))
+	for i, s := range in {
+		out[i] = Scheme(s)
+	}
+	return out
 }
 
 // Workloads lists the eleven server workloads of §6.2.
@@ -108,6 +128,15 @@ type Options struct {
 	// large speedup; RunStats reports the per-interval IPC spread.
 	// Incompatible with trace recording. Empty means exact simulation.
 	Sample string
+	// PFDegree overrides the evaluated prefetcher's static aggressiveness
+	// (prefetch degree) where the scheme supports it (GHB, GHB-TLB,
+	// Hierarchical). 0 keeps the scheme default. Ignored under Governed.
+	PFDegree int
+	// Governed attaches the feedback throttling governor: per-interval
+	// accuracy/lateness/pollution samples drive the prefetcher between
+	// conservative, moderate and aggressive degree/lookahead levels.
+	// Errors for schemes without a tunable prefetcher (e.g. FDIP).
+	Governed bool
 }
 
 // parallel resolves the configured sweep width.
@@ -163,6 +192,11 @@ func (o *Options) runConfig() (harness.RunConfig, error) {
 		}
 		rc.Sample = sp
 	}
+	if o.PFDegree < 0 {
+		return rc, fmt.Errorf("PFDegree must be non-negative, got %d", o.PFDegree)
+	}
+	rc.PFDegree = o.PFDegree
+	rc.Governed = o.Governed
 	return rc, nil
 }
 
@@ -212,6 +246,22 @@ type RunStats struct {
 	SampleIPCMean      float64
 	SampleIPCStdErr    float64
 	SampleDetailedFrac float64
+	// TLBMissFraction and TLBDropped describe TLB-aware filtering
+	// (GHB-TLB): the fraction of candidate prefetches whose page missed
+	// the I-TLB, and how many were dropped for it. Zero elsewhere.
+	TLBMissFraction float64
+	TLBDropped      uint64
+	// GovernorIntervals, GovernorStepUps, GovernorStepDowns,
+	// GovernorFinalLevel and GovernorSchedule describe an adaptive run
+	// (Options.Governed): how many feedback intervals the governor
+	// sampled, how often it raised or lowered aggressiveness, the level
+	// it ended at, and the canonical transition schedule (empty when it
+	// never moved). Zero/empty for static runs.
+	GovernorIntervals  uint64
+	GovernorStepUps    uint64
+	GovernorStepDowns  uint64
+	GovernorFinalLevel string
+	GovernorSchedule   string
 }
 
 // Simulate runs one workload under one scheme and returns its metrics.
@@ -246,6 +296,15 @@ func Simulate(workload string, scheme Scheme, opt *Options) (RunStats, error) {
 		out.SampleIPCMean = r.Sample.IPCMean
 		out.SampleIPCStdErr = r.Sample.IPCStdErr
 		out.SampleDetailedFrac = r.Sample.DetailedFrac
+	}
+	out.TLBMissFraction = r.Stats.PFTLBMissFraction()
+	out.TLBDropped = r.Stats.PFTLBDropped
+	if r.Governor != nil {
+		out.GovernorIntervals = r.Governor.Intervals
+		out.GovernorStepUps = r.Governor.StepUps
+		out.GovernorStepDowns = r.Governor.StepDowns
+		out.GovernorFinalLevel = r.Governor.Level
+		out.GovernorSchedule = r.Governor.Schedule()
 	}
 	if scheme != FDIP {
 		sp, err := harness.Speedup(workload, harness.Scheme(scheme), rc)

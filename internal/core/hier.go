@@ -156,6 +156,14 @@ type Hier struct {
 	repStart   uint64 // InstrSeq at Bundle start
 	paceMark   uint64 // numInsts of the current segment
 
+	// Aggressiveness knobs (prefetch.Tunable): burst is the replay issue
+	// budget per retired event (initialised from cfg.BurstPrefetches);
+	// freeSegs is how many segments stream unpaced at the start of a
+	// replay before the num-insts rule engages (1 = the paper's policy:
+	// first and second segments go immediately).
+	burst    int
+	freeSegs int
+
 	// Instrumentation.
 	stats      map[uint32]*BundleStat
 	curStat    *BundleStat
@@ -188,12 +196,14 @@ func New(cfg Config, m prefetch.Machine) *Hier {
 		nSegs = 4
 	}
 	h := &Hier{
-		cfg:     cfg,
-		m:       m,
-		mat:     make([]matEntry, cfg.MATEntries),
-		matSets: cfg.MATEntries / cfg.MATWays,
-		segs:    make([]segment, nSegs),
-		cb:      prefetch.NewRegionBuffer(cfg.CompressionEntries),
+		cfg:      cfg,
+		m:        m,
+		mat:      make([]matEntry, cfg.MATEntries),
+		matSets:  cfg.MATEntries / cfg.MATWays,
+		segs:     make([]segment, nSegs),
+		cb:       prefetch.NewRegionBuffer(cfg.CompressionEntries),
+		burst:    cfg.BurstPrefetches,
+		freeSegs: 1,
 	}
 	if cfg.TrackStats {
 		h.stats = make(map[uint32]*BundleStat)
@@ -203,6 +213,23 @@ func New(cfg Config, m prefetch.Machine) *Hier {
 
 // Name identifies the scheme.
 func (h *Hier) Name() string { return "Hierarchical" }
+
+// SetAggressiveness retargets the bundle-issue policy (prefetch.Tunable):
+// degree becomes the per-event replay burst budget and lookahead the
+// number of segments streamed before pacing engages. Ungoverned runs
+// keep cfg.BurstPrefetches and the paper's one-free-segment policy.
+func (h *Hier) SetAggressiveness(degree, lookahead int) {
+	if degree < 1 {
+		degree = 1
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	if lookahead > len(h.segs) {
+		lookahead = len(h.segs)
+	}
+	h.burst, h.freeSegs = degree, lookahead
+}
 
 // SetTextBounds arms degraded-mode validation: the prefetcher is given
 // the text segment [base, end) and treats any Bundle hint pointing
@@ -487,7 +514,7 @@ func (h *Hier) pumpReplay() {
 	if !h.repActive || h.m.Now() < h.readyAt {
 		return
 	}
-	budget := h.cfg.BurstPrefetches
+	budget := h.burst
 	if space := h.m.PrefetchSpace(); space < budget {
 		budget = space
 	}
@@ -546,7 +573,7 @@ func (h *Hier) advanceSegment() bool {
 	// N's mark is where the *previous* execution started filling N,
 	// replay reaches each segment about one segment ahead of the
 	// re-record overwriting it.
-	if h.repOrdinal >= 1 && !h.cfg.DisablePacing {
+	if h.repOrdinal >= h.freeSegs && !h.cfg.DisablePacing {
 		executed := h.m.InstrSeq() - h.repStart
 		if executed <= h.paceMark {
 			h.Counters.PaceStalls++
@@ -698,4 +725,7 @@ func (h *Hier) BundleSummary() Summary {
 	return out
 }
 
-var _ prefetch.Prefetcher = (*Hier)(nil)
+var (
+	_ prefetch.Prefetcher = (*Hier)(nil)
+	_ prefetch.Tunable    = (*Hier)(nil)
+)

@@ -324,3 +324,66 @@ func TestDisablePacingStreamsEagerly(t *testing.T) {
 		t.Errorf("unpaced replay issued %d <= paced %d", unpaced, paced)
 	}
 }
+
+// TestSetAggressivenessKnobs: the Tunable hooks retarget the replay
+// burst budget and free-segment pacing window, with clamping at both
+// ends; an ungoverned Hier keeps the paper's defaults.
+func TestSetAggressivenessKnobs(t *testing.T) {
+	m := prefetchtest.NewMockMachine()
+	p := New(DefaultConfig(), m)
+	if p.burst != DefaultConfig().BurstPrefetches || p.freeSegs != 1 {
+		t.Fatalf("ungoverned defaults wrong: burst %d freeSegs %d", p.burst, p.freeSegs)
+	}
+	p.SetAggressiveness(4, 2)
+	if p.burst != 4 || p.freeSegs != 2 {
+		t.Fatalf("knobs not applied: burst %d freeSegs %d", p.burst, p.freeSegs)
+	}
+	p.SetAggressiveness(0, 0)
+	if p.burst != 1 || p.freeSegs != 1 {
+		t.Fatalf("low clamp: burst %d freeSegs %d", p.burst, p.freeSegs)
+	}
+	p.SetAggressiveness(1, 1<<20)
+	if p.freeSegs != len(p.segs) {
+		t.Fatalf("high clamp: freeSegs %d, want %d", p.freeSegs, len(p.segs))
+	}
+}
+
+// TestBurstBudgetThrottlesReplay: a burst budget of 1 issues at most one
+// prefetch per retired event during replay, while the default budget
+// streams a whole segment's worth; both replay the same recording.
+func TestBurstBudgetThrottlesReplay(t *testing.T) {
+	record := func(p *Hier, m *prefetchtest.MockMachine) {
+		blocks := seqBlocks(1000, 120)
+		runBundle(p, m, 0x4000, blocks)
+		runBundle(p, m, 0x8000, seqBlocks(5000, 4)) // close the first recording
+	}
+	issuedWith := func(burst int) (total, maxPerEvent int) {
+		m := prefetchtest.NewMockMachine()
+		p := New(DefaultConfig(), m)
+		record(p, m)
+		if burst > 0 {
+			p.SetAggressiveness(burst, 1)
+		}
+		m.Issued = nil
+		p.OnRetire(tag(0x4000)) // replay trigger
+		for _, b := range seqBlocks(1000, 20) {
+			before := len(m.Issued)
+			m.InstrSeqV += 16
+			m.NowV += 4 * 48
+			m.BlockSeqV++
+			p.OnRetire(evb(b))
+			if d := len(m.Issued) - before; d > maxPerEvent {
+				maxPerEvent = d
+			}
+		}
+		return len(m.Issued), maxPerEvent
+	}
+	oneTotal, onePeak := issuedWith(1)
+	defTotal, _ := issuedWith(0)
+	if onePeak > 1 {
+		t.Fatalf("burst 1 issued %d prefetches in one event", onePeak)
+	}
+	if defTotal <= oneTotal {
+		t.Fatalf("default burst total (%d) not above burst-1 total (%d)", defTotal, oneTotal)
+	}
+}

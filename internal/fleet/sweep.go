@@ -59,14 +59,14 @@ func (sp SweepSpec) Validate() error {
 		}
 		seenW[w] = true
 	}
-	valid := map[string]bool{string(harness.SchemePerfect): true}
-	for _, sc := range harness.Schemes() {
+	valid := map[string]bool{}
+	for _, sc := range harness.AllSchemes() {
 		valid[string(sc)] = true
 	}
 	seenS := map[string]bool{}
 	for _, sc := range sp.Schemes {
 		if !valid[sc] {
-			return fmt.Errorf("unknown scheme %q", sc)
+			return fmt.Errorf("unknown scheme %q (known: %s)", sc, harness.SchemeNames())
 		}
 		if seenS[sc] {
 			return fmt.Errorf("duplicate scheme %q in sweep", sc)

@@ -43,6 +43,13 @@ func goldenRunConfig() RunConfig {
 	return rc
 }
 
+// goldenSchemes is the scheme set under the digest contract: the paper
+// figure set plus the perfect-L1I bound and the two feedback-subsystem
+// baselines (GHB and its TLB-aware variant).
+func goldenSchemes() []Scheme {
+	return append(append([]Scheme{}, Schemes()...), SchemePerfect, SchemeGHB, SchemeGHBTLB)
+}
+
 // goldenMatrix simulates the full scheme × workload mini-matrix with
 // fresh machines (bypassing the Runner cache, as a new process would).
 func goldenMatrix(t *testing.T) []goldenEntry {
@@ -50,7 +57,7 @@ func goldenMatrix(t *testing.T) []goldenEntry {
 	rc := goldenRunConfig()
 	var out []goldenEntry
 	for _, w := range rc.Workloads {
-		for _, s := range append(Schemes(), SchemePerfect) {
+		for _, s := range goldenSchemes() {
 			res, err := runOne(context.Background(), w, s, rc)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", w, s, err)

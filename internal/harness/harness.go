@@ -24,8 +24,11 @@ import (
 	"hprefetch/internal/fault"
 	"hprefetch/internal/isa"
 	"hprefetch/internal/loader"
+	"hprefetch/internal/prefetch"
 	"hprefetch/internal/prefetch/efetch"
 	"hprefetch/internal/prefetch/eip"
+	"hprefetch/internal/prefetch/feedback"
+	"hprefetch/internal/prefetch/ghb"
 	"hprefetch/internal/prefetch/mana"
 	"hprefetch/internal/sim"
 	"hprefetch/internal/tracefile"
@@ -35,7 +38,8 @@ import (
 // Scheme names a prefetching configuration under evaluation.
 type Scheme string
 
-// The evaluated schemes (§6.3).
+// The evaluated schemes (§6.3), plus the GHB baselines added alongside
+// the throttling subsystem.
 const (
 	SchemeFDIP    Scheme = "FDIP"
 	SchemeEFetch  Scheme = "EFetch"
@@ -43,11 +47,34 @@ const (
 	SchemeEIP     Scheme = "EIP"
 	SchemeHier    Scheme = "Hierarchical"
 	SchemePerfect Scheme = "PerfectL1I"
+	SchemeGHB     Scheme = "GHB"
+	SchemeGHBTLB  Scheme = "GHB-TLB"
 )
 
-// Schemes returns the figure-order scheme list (FDIP first).
+// Schemes returns the figure-order scheme list (FDIP first) — the rows
+// the paper's tables compare. The GHB baselines are deliberately not
+// here: they would change every figure. Use AllSchemes for the full
+// registry.
 func Schemes() []Scheme {
 	return []Scheme{SchemeFDIP, SchemeEFetch, SchemeMANA, SchemeEIP, SchemeHier}
+}
+
+// AllSchemes returns every runnable scheme, sorted by name — the
+// registry CLIs list and validation errors cite.
+func AllSchemes() []Scheme {
+	all := append(Schemes(), SchemePerfect, SchemeGHB, SchemeGHBTLB)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// SchemeNames renders the sorted registry as a comma-separated string
+// for error messages and -list output.
+func SchemeNames() string {
+	var names []string
+	for _, sc := range AllSchemes() {
+		names = append(names, string(sc))
+	}
+	return strings.Join(names, ", ")
 }
 
 // RunConfig controls simulation length and machine parameters.
@@ -69,6 +96,17 @@ type RunConfig struct {
 	HierConfig *core.Config
 	// TrackBundles turns on per-Bundle instrumentation (Table 4).
 	TrackBundles bool
+	// PFDegree overrides the scheme's static prefetch aggressiveness
+	// (throttling sweeps): GHB degree for the GHB schemes, replay burst
+	// budget for Hierarchical. Zero keeps defaults; other schemes have
+	// their own lookahead knobs above.
+	PFDegree int
+	// Governed wraps the scheme's prefetcher with the feedback-directed
+	// throttling governor (internal/prefetch/feedback): degree and
+	// lookahead adapt online from interval accuracy/lateness/pollution.
+	// Only prefetch.Tunable schemes (GHB, GHB-TLB, Hierarchical) accept
+	// it; other schemes fail loudly.
+	Governed bool
 	// Fault injects a deterministic fault into the run (degradation
 	// experiments); the zero value injects nothing. Faults apply to
 	// every scheme — the FDIP baseline of a faulted comparison runs
@@ -177,6 +215,10 @@ type Result struct {
 	// statistics are identical either way — this flag is operational
 	// visibility, not a caveat.
 	CorpusHealed bool
+	// Governor holds the throttling governor's end-of-run snapshot
+	// (level, transition counters, schedule) for governed runs; nil
+	// otherwise.
+	Governor *feedback.Summary
 }
 
 // key builds the memoisation key for a run.
@@ -184,6 +226,7 @@ func (rc *RunConfig) key(workload string, scheme Scheme) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%v", workload, scheme,
 		rc.WarmInstr, rc.MeasureInstr, rc.ManaLookahead, rc.EFetchLookahead, rc.TrackBundles)
+	fmt.Fprintf(h, "|%d|%v", rc.PFDegree, rc.Governed)
 	fmt.Fprintf(h, "|%s|%g|%d", rc.Fault.Class, rc.Fault.Rate, rc.Fault.Seed)
 	fmt.Fprintf(h, "|%s|%s|%s|%s", rc.TracePath, rc.TraceDir, rc.RecordPath, rc.CorpusDir)
 	fmt.Fprintf(h, "|%d|%d|%d|%d", rc.Sample.WarmInstr, rc.Sample.MeasureInstr, rc.Sample.SkipInstr, rc.Sample.Seed)
@@ -395,6 +438,7 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		m.SetContext(ctx)
 	}
 	var hier *core.Hier
+	var pf prefetch.Prefetcher
 	switch scheme {
 	case SchemeFDIP, SchemePerfect:
 		// no evaluated prefetcher
@@ -403,29 +447,51 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		if rc.EFetchLookahead > 0 {
 			cfg.Lookahead = rc.EFetchLookahead
 		}
-		m.SetPrefetcher(efetch.New(cfg, m))
+		pf = efetch.New(cfg, m)
 	case SchemeMANA:
 		cfg := mana.DefaultConfig()
 		if rc.ManaLookahead > 0 {
 			cfg.Lookahead = rc.ManaLookahead
 		}
-		m.SetPrefetcher(mana.New(cfg, m))
+		pf = mana.New(cfg, m)
 	case SchemeEIP:
-		m.SetPrefetcher(eip.New(eip.DefaultConfig(), m))
+		pf = eip.New(eip.DefaultConfig(), m)
+	case SchemeGHB, SchemeGHBTLB:
+		cfg := ghb.DefaultConfig()
+		cfg.RequireTLB = scheme == SchemeGHBTLB
+		if rc.PFDegree > 0 {
+			cfg.Degree = rc.PFDegree
+		}
+		pf = ghb.New(cfg, m)
 	case SchemeHier:
 		cfg := core.DefaultConfig()
 		if rc.HierConfig != nil {
 			cfg = *rc.HierConfig
 		}
 		cfg.TrackStats = cfg.TrackStats || rc.TrackBundles
+		if rc.PFDegree > 0 {
+			cfg.BurstPrefetches = rc.PFDegree
+		}
 		hier = core.New(cfg, m)
 		// Arm degraded-mode validation: the prefetcher knows the text
 		// bounds and refuses hints pointing elsewhere.
 		p := ld.Prog
 		hier.SetTextBounds(p.TextBase, p.TextBase+isa.Addr(p.TextSize))
-		m.SetPrefetcher(hier)
+		pf = hier
 	default:
-		return nil, fmt.Errorf("harness: unknown scheme %q", scheme)
+		return nil, fmt.Errorf("harness: unknown scheme %q (known: %s)", scheme, SchemeNames())
+	}
+	var gov *feedback.Governor
+	if rc.Governed {
+		tun, ok := pf.(prefetch.Tunable)
+		if !ok {
+			return nil, fmt.Errorf("harness: %s/%s: scheme does not support adaptive throttling (not prefetch.Tunable)", workload, scheme)
+		}
+		gov = feedback.New(feedback.DefaultConfig(), m)
+		pf = prefetch.NewGoverned(tun, gov)
+	}
+	if pf != nil {
+		m.SetPrefetcher(pf)
 	}
 	if rc.Sample.Enabled() {
 		if rec != nil {
@@ -439,6 +505,9 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		if hier != nil {
 			res.Bundle = hier.BundleSummary()
 			res.BundleRejects = hier.Counters.BundleRejects
+		}
+		if gov != nil {
+			res.Governor = gov.Summary()
 		}
 		return res, nil
 	}
@@ -463,13 +532,21 @@ func runOne(ctx context.Context, workload string, scheme Scheme, rc RunConfig) (
 		res.Bundle = hier.BundleSummary()
 		res.BundleRejects = hier.Counters.BundleRejects
 	}
+	if gov != nil {
+		res.Governor = gov.Summary()
+	}
 	return res, nil
 }
 
 // Speedup returns scheme IPC relative to the FDIP baseline for the same
 // workload and configuration.
 func Speedup(workload string, scheme Scheme, rc RunConfig) (float64, error) {
-	base, err := Run(workload, SchemeFDIP, rc)
+	// The FDIP baseline has no prefetcher: throttling knobs neither
+	// apply nor should fragment its cache entry across degree variants.
+	brc := rc
+	brc.PFDegree = 0
+	brc.Governed = false
+	base, err := Run(workload, SchemeFDIP, brc)
 	if err != nil {
 		return 0, err
 	}

@@ -169,7 +169,7 @@ func TestExperimentDispatch(t *testing.T) {
 			t.Errorf("%s produced no rows", id)
 		}
 	}
-	if len(ExperimentIDs()) != 22 {
+	if len(ExperimentIDs()) != 23 {
 		t.Errorf("experiment list has %d entries", len(ExperimentIDs()))
 	}
 }

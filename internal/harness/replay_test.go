@@ -47,7 +47,7 @@ func TestReplayMatchesLiveGolden(t *testing.T) {
 	}
 
 	for _, w := range rc.Workloads {
-		for _, s := range append(Schemes(), SchemePerfect) {
+		for _, s := range goldenSchemes() {
 			live, err := runOne(context.Background(), w, s, rc)
 			if err != nil {
 				t.Fatalf("live %s/%s: %v", w, s, err)

@@ -242,13 +242,15 @@ func Experiment(id string, rc RunConfig) (*Table, error) {
 		return DegradationTable(rc)
 	case "microservice":
 		return MicroserviceTable(rc)
+	case "throttling":
+		return ThrottlingTable(rc)
 	}
-	return nil, fmt.Errorf("harness: unknown experiment %q (fig1..fig17, table2..table4, ablation, degradation, microservice)", id)
+	return nil, fmt.Errorf("harness: unknown experiment %q (fig1..fig17, table2..table4, ablation, degradation, microservice, throttling)", id)
 }
 
 // ExperimentIDs lists valid Experiment identifiers in paper order.
 func ExperimentIDs() []string {
-	return append(append([]string{}, paperIDs...), "ablation", "degradation", "microservice")
+	return append(append([]string{}, paperIDs...), "ablation", "degradation", "microservice", "throttling")
 }
 
 // Ablations exercises the Hierarchical Prefetcher's design choices the

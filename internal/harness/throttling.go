@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+
+	"hprefetch/internal/sim"
+)
+
+// throttlingDegrees is the static-degree sweep the adaptive governor is
+// judged against: GHB issue degree (and Hierarchical burst budget).
+var throttlingDegrees = []int{1, 2, 4, 8}
+
+// throttlingWorkloads resolves the experiment's workload set: the
+// configured restriction, or the full matrix plus chain-burst (the
+// bursty microservice scenario exercises exactly the phase behaviour a
+// feedback governor exists for).
+func throttlingWorkloads(rc RunConfig) []string {
+	if len(rc.Workloads) > 0 {
+		return rc.Workloads
+	}
+	names := rc.workloadList()
+	out := make([]string, 0, len(names)+1)
+	seen := map[string]bool{}
+	for _, w := range names {
+		out = append(out, w)
+		seen[w] = true
+	}
+	if !seen["chain-burst"] {
+		out = append(out, "chain-burst")
+	}
+	return out
+}
+
+// throttlingRow renders one run of the experiment.
+func throttlingRow(workload string, scheme Scheme, mode string, r *Result) []string {
+	st := r.Stats
+	row := []string{
+		workload, string(scheme), mode,
+		f3(st.IPC()),
+		fmt.Sprintf("%d", st.PFIssued),
+		fmt.Sprintf("%d", st.PFUseless),
+		pct(st.PFAccuracy()),
+		pct(st.PFLateFraction()),
+		pct(st.PFTLBMissFraction()),
+		fmt.Sprintf("%d", st.PFTLBDropped),
+		f2(float64(st.StallScaled) / sim.CycleScale / 1e6),
+	}
+	if r.Governor != nil {
+		row = append(row,
+			fmt.Sprintf("%d", r.Governor.StepUps),
+			fmt.Sprintf("%d", r.Governor.StepDowns),
+			r.Governor.Level)
+	} else {
+		row = append(row, "-", "-", "-")
+	}
+	return row
+}
+
+// ThrottlingTable compares static prefetch degrees against the adaptive
+// feedback governor, per workload: the GHB baseline across the static
+// degree sweep and governed, the TLB-aware GHB variant, and the
+// Hierarchical prefetcher's bundle-issue policy static and governed. A
+// note per workload states whether adaptive beat the best static GHB
+// degree — fewer useless prefetches at equal-or-better fetch stall.
+func ThrottlingTable(rc RunConfig) (*Table, error) {
+	t := &Table{
+		ID:    "throttling",
+		Title: "Static vs. feedback-directed adaptive prefetch degree",
+		Header: []string{
+			"Workload", "Scheme", "Mode", "IPC", "PFIssued", "PFUseless",
+			"Acc", "Late", "TLBMiss", "TLBDrop", "StallMCyc",
+			"GovUp", "GovDown", "GovLevel",
+		},
+	}
+	for _, w := range throttlingWorkloads(rc) {
+		type staticRun struct {
+			degree int
+			res    *Result
+		}
+		var statics []staticRun
+		for _, d := range throttlingDegrees {
+			sub := rc
+			sub.PFDegree = d
+			r, err := Run(w, SchemeGHB, sub)
+			if err != nil {
+				return nil, err
+			}
+			statics = append(statics, staticRun{d, r})
+			t.Rows = append(t.Rows, throttlingRow(w, SchemeGHB, fmt.Sprintf("static-%d", d), r))
+		}
+		gcfg := rc
+		gcfg.Governed = true
+		adaptive, err := Run(w, SchemeGHB, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, throttlingRow(w, SchemeGHB, "adaptive", adaptive))
+
+		tlb, err := Run(w, SchemeGHBTLB, rc)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, throttlingRow(w, SchemeGHBTLB, "static-4", tlb))
+
+		hierStatic, err := Run(w, SchemeHier, rc)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, throttlingRow(w, SchemeHier, "static-8", hierStatic))
+		hg := rc
+		hg.Governed = true
+		hierAdaptive, err := Run(w, SchemeHier, hg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, throttlingRow(w, SchemeHier, "adaptive", hierAdaptive))
+
+		// Best static GHB degree = lowest fetch stall, ties broken by
+		// fewer useless prefetches; the verdict the acceptance criterion
+		// reads.
+		best := statics[0]
+		for _, s := range statics[1:] {
+			bs, ss := best.res.Stats, s.res.Stats
+			if ss.StallScaled < bs.StallScaled ||
+				(ss.StallScaled == bs.StallScaled && ss.PFUseless < bs.PFUseless) {
+				best = s
+			}
+		}
+		as, bs := adaptive.Stats, best.res.Stats
+		verdict := "no"
+		if as.PFUseless < bs.PFUseless && as.StallScaled <= bs.StallScaled {
+			verdict = "WIN"
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: GHB adaptive vs best static (degree %d): useless %d vs %d, stall %.2f vs %.2f Mcyc — %s",
+			w, best.degree, as.PFUseless, bs.PFUseless,
+			float64(as.StallScaled)/sim.CycleScale/1e6,
+			float64(bs.StallScaled)/sim.CycleScale/1e6, verdict))
+	}
+	t.Notes = append(t.Notes,
+		"Mode static-N fixes the issue degree (GHB) or replay burst budget (Hierarchical); adaptive lets the feedback governor move degree/lookahead between conservative, moderate and aggressive from interval accuracy/lateness/pollution.",
+		"TLBMiss is the share of issued prefetches whose page missed the ITLB at issue; TLBDrop counts prefetches the TLB-aware scheme withheld instead.",
+	)
+	return t, nil
+}
+
+// ThrottlingWins reports, per workload, whether the adaptive GHB run
+// beat the best static degree (fewer PFUseless at equal-or-better fetch
+// stall). Tests assert at least one win.
+func ThrottlingWins(rc RunConfig) (map[string]bool, error) {
+	wins := map[string]bool{}
+	for _, w := range throttlingWorkloads(rc) {
+		var best *sim.Stats
+		for _, d := range throttlingDegrees {
+			sub := rc
+			sub.PFDegree = d
+			r, err := Run(w, SchemeGHB, sub)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || r.Stats.StallScaled < best.StallScaled ||
+				(r.Stats.StallScaled == best.StallScaled && r.Stats.PFUseless < best.PFUseless) {
+				best = r.Stats
+			}
+		}
+		gcfg := rc
+		gcfg.Governed = true
+		a, err := Run(w, SchemeGHB, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		wins[w] = a.Stats.PFUseless < best.PFUseless && a.Stats.StallScaled <= best.StallScaled
+	}
+	return wins, nil
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGovernorDeterministicSchedule: two completely fresh governed runs
+// of the same workload produce byte-identical state-transition schedules
+// and identical full stats — the governor is part of the deterministic
+// machine, not a heuristic beside it.
+func TestGovernorDeterministicSchedule(t *testing.T) {
+	rc := goldenRunConfig()
+	rc.Governed = true
+	for _, w := range []string{"gin", "chain-burst"} {
+		for _, s := range []Scheme{SchemeGHB, SchemeHier} {
+			a, err := runOne(context.Background(), w, s, rc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, s, err)
+			}
+			b, err := runOne(context.Background(), w, s, rc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, s, err)
+			}
+			if a.Governor == nil || b.Governor == nil {
+				t.Fatalf("%s/%s: governed run carries no governor summary", w, s)
+			}
+			if as, bs := a.Governor.Schedule(), b.Governor.Schedule(); as != bs {
+				t.Errorf("%s/%s: transition schedules diverged:\n--- run A\n%s\n--- run B\n%s", w, s, as, bs)
+			}
+			if !reflect.DeepEqual(a.Stats, b.Stats) {
+				t.Errorf("%s/%s: governed stats diverged:\n--- run A\n%s--- run B\n%s",
+					w, s, a.Stats.Canonical(), b.Stats.Canonical())
+			}
+			if a.Stats.Digest() != b.Stats.Digest() {
+				t.Errorf("%s/%s: governed digests diverged", w, s)
+			}
+		}
+	}
+}
+
+// TestGovernedChangesBehaviour: the governor actually moves the knobs —
+// a governed GHB run differs from the static default and records
+// transitions.
+func TestGovernedChangesBehaviour(t *testing.T) {
+	rc := goldenRunConfig()
+	static, err := runOne(context.Background(), "gin", SchemeGHB, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rc
+	g.Governed = true
+	adaptive, err := runOne(context.Background(), "gin", SchemeGHB, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Governor == nil {
+		t.Fatal("no governor summary on a governed run")
+	}
+	if adaptive.Governor.StepUps+adaptive.Governor.StepDowns == 0 {
+		t.Error("governor never transitioned on gin")
+	}
+	if adaptive.Stats.Digest() == static.Stats.Digest() {
+		t.Error("governed run is byte-identical to static: knobs never moved")
+	}
+	if static.Governor != nil {
+		t.Error("ungoverned run carries a governor summary")
+	}
+}
+
+// TestUngovernableSchemeErrors: schemes without a Tunable prefetcher
+// (FDIP has no prefetcher at all) refuse Governed with a typed message
+// instead of silently running static.
+func TestUngovernableSchemeErrors(t *testing.T) {
+	rc := QuickRunConfig()
+	rc.Governed = true
+	_, err := runOne(context.Background(), "gin", SchemeFDIP, rc)
+	if err == nil {
+		t.Fatal("governing FDIP succeeded")
+	}
+	if !strings.Contains(err.Error(), "adaptive throttling") {
+		t.Fatalf("error does not explain the refusal: %v", err)
+	}
+}
+
+// TestThrottlingAdaptiveWins is the acceptance gate: on at least one
+// workload the adaptive governor beats the best static GHB degree —
+// fewer useless prefetches at equal-or-better fetch-stall cycles. The
+// tidb-tpcc stall knee sits between static degrees 4 and 8, so the
+// governor's moderate↔aggressive dither lands where no static sweep
+// point can.
+func TestThrottlingAdaptiveWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full static sweep is expensive")
+	}
+	rc := QuickRunConfig()
+	wins, err := ThrottlingWins(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wins["tidb-tpcc"] {
+		t.Errorf("adaptive does not beat the best static degree on tidb-tpcc: %v", wins)
+	}
+}
+
+// TestThrottlingTableShape: the experiment renders every mode row per
+// workload and a verdict note per workload.
+func TestThrottlingTableShape(t *testing.T) {
+	rc := QuickRunConfig()
+	rc.Workloads = []string{"gin"}
+	tbl, err := ThrottlingTable(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 static GHB + adaptive GHB + GHB-TLB + Hier static + Hier adaptive.
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(tbl.Rows))
+	}
+	if len(tbl.Header) != len(tbl.Rows[0]) {
+		t.Fatalf("header width %d, row width %d", len(tbl.Header), len(tbl.Rows[0]))
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.HasPrefix(n, "gin: GHB adaptive vs best static") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no per-workload verdict note: %v", tbl.Notes)
+	}
+}

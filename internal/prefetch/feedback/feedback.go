@@ -1,0 +1,292 @@
+// Package feedback implements a deterministic feedback-directed
+// prefetch-throttling governor in the style of Srinath et al.'s
+// feedback-directed prefetching (the GHB_FDP exemplar): every fixed
+// interval of retired fetch blocks it samples the machine's prefetch
+// counters, computes interval accuracy, lateness and pollution, and
+// steps a conservative ↔ moderate ↔ aggressive state machine whose
+// state maps to a (degree, lookahead) operating point. Attached to any
+// prefetch.Tunable via prefetch.NewGoverned, it retunes the scheme
+// online without per-scheme surgery.
+//
+// Everything is integer-counter driven and clocked by the retired
+// stream, so two runs of the same workload produce byte-identical
+// transition schedules — the governor is part of the deterministic
+// machine, not a heuristic bolted on beside it.
+package feedback
+
+import (
+	"fmt"
+	"strings"
+
+	"hprefetch/internal/isa"
+	"hprefetch/internal/prefetch"
+)
+
+// Sampler exposes the running prefetch feedback counters the governor
+// samples each interval. *sim.Machine implements it; tests use fakes.
+// Counts are monotonic except across a stats reset (warmup boundary),
+// which the governor detects as a backwards sample and resyncs over.
+type Sampler interface {
+	PFSignals() (issued, useful, late, useless uint64)
+}
+
+// Level is the governor's aggressiveness state.
+type Level int
+
+// The three operating points, conservative to aggressive.
+const (
+	Conservative Level = iota
+	Moderate
+	Aggressive
+	numLevels
+)
+
+// String names the level for schedules and reports.
+func (l Level) String() string {
+	switch l {
+	case Conservative:
+		return "conservative"
+	case Moderate:
+		return "moderate"
+	case Aggressive:
+		return "aggressive"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Knobs is the (degree, lookahead) pair a level maps to.
+type Knobs struct {
+	Degree    int
+	Lookahead int
+}
+
+// Config sets the sampling cadence, decision thresholds and per-level
+// operating points. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// IntervalBlocks is the sampling interval in retired fetch blocks.
+	IntervalBlocks uint64
+	// MinIssued is the minimum per-interval issue count needed to make a
+	// decision; quieter intervals hold (too little signal to act on).
+	MinIssued uint64
+	// AccuracyLow: interval accuracy below this steps toward
+	// conservative — the scheme is mostly guessing wrong.
+	AccuracyLow float64
+	// PollutionHigh: interval useless/issued above this also steps down,
+	// independent of accuracy — evictions of never-used lines are the
+	// cache-pollution signal.
+	PollutionHigh float64
+	// LateHigh: when the interval is accurate but more than this share
+	// of its useful+late prefetches arrived late, step toward aggressive
+	// (more degree/lookahead buys timeliness).
+	LateHigh float64
+	// DownStreak is the hysteresis depth: how many consecutive bad
+	// intervals (low accuracy or high pollution) it takes to step down.
+	// Useless prefetches are charged at eviction time, one interval after
+	// the over-aggressive interval that issued them, so a single bad
+	// sample right after a step is expected lag, not a trend.
+	DownStreak int
+	// Levels maps each state to its operating point.
+	Levels [3]Knobs
+	// MaxTransitions bounds the recorded transition schedule (the
+	// counters keep counting past it).
+	MaxTransitions int
+}
+
+// DefaultConfig returns the tuned defaults: sample every 8K retired
+// blocks, Moderate start, and FDP-style thresholds.
+func DefaultConfig() Config {
+	return Config{
+		IntervalBlocks: 8192,
+		MinIssued:      32,
+		AccuracyLow:    0.20,
+		PollutionHigh:  0.60,
+		LateHigh:       0.04,
+		DownStreak:     2,
+		Levels: [3]Knobs{
+			Conservative: {Degree: 1, Lookahead: 1},
+			Moderate:     {Degree: 4, Lookahead: 2},
+			Aggressive:   {Degree: 8, Lookahead: 4},
+		},
+		MaxTransitions: 4096,
+	}
+}
+
+// Transition records one state-machine edge, stamped with the interval
+// ordinal it fired on.
+type Transition struct {
+	Interval uint64 `json:"interval"`
+	From     Level  `json:"from"`
+	To       Level  `json:"to"`
+}
+
+// Counters are the governor's always-on diagnostics, exported through
+// harness results and /metrics.
+type Counters struct {
+	Intervals uint64 // decision intervals elapsed
+	StepUps   uint64 // transitions toward aggressive
+	StepDowns uint64 // transitions toward conservative
+	Holds     uint64 // intervals that kept the current level
+	Resyncs   uint64 // backwards samples skipped (stats reset)
+}
+
+// Governor is the feedback controller. It implements
+// prefetch.Controller; attach it with prefetch.NewGoverned.
+type Governor struct {
+	cfg Config
+	s   Sampler
+
+	level  Level
+	blocks uint64
+	bad    int // consecutive bad intervals toward DownStreak
+
+	lastIssued, lastUseful uint64
+	lastLate, lastUseless  uint64
+
+	Counters    Counters
+	transitions []Transition
+}
+
+// New builds a governor over the machine's counters, starting Moderate.
+func New(cfg Config, s Sampler) *Governor {
+	if cfg.IntervalBlocks == 0 {
+		cfg.IntervalBlocks = DefaultConfig().IntervalBlocks
+	}
+	if cfg.DownStreak < 1 {
+		cfg.DownStreak = 1
+	}
+	return &Governor{cfg: cfg, s: s, level: Moderate}
+}
+
+// Level returns the current operating state.
+func (g *Governor) Level() Level { return g.level }
+
+// Knobs returns the current operating point (prefetch.Controller).
+func (g *Governor) Knobs() (degree, lookahead int) {
+	k := g.cfg.Levels[g.level]
+	return k.Degree, k.Lookahead
+}
+
+// StorageBits is the hardware cost: four 32-bit interval shadow
+// counters, four 32-bit delta registers, a 2-bit state, a 2-bit
+// hysteresis streak and a 13-bit interval countdown.
+func (g *Governor) StorageBits() int { return 4*32 + 4*32 + 2 + 2 + 13 }
+
+// Observe advances the interval clock; on an interval boundary it
+// samples the counters and decides (prefetch.Controller).
+func (g *Governor) Observe(ev *isa.BlockEvent) (degree, lookahead int, changed bool) {
+	g.blocks++
+	if g.blocks%g.cfg.IntervalBlocks != 0 {
+		return 0, 0, false
+	}
+	issued, useful, late, useless := g.s.PFSignals()
+	if issued < g.lastIssued || useful < g.lastUseful ||
+		late < g.lastLate || useless < g.lastUseless {
+		// Counters went backwards: the harness reset stats at the warmup
+		// boundary. Resync the shadow registers without deciding.
+		g.Counters.Resyncs++
+		g.resync(issued, useful, late, useless)
+		return 0, 0, false
+	}
+	dIssued := issued - g.lastIssued
+	dUseful := useful - g.lastUseful
+	dLate := late - g.lastLate
+	dUseless := useless - g.lastUseless
+	g.resync(issued, useful, late, useless)
+	g.Counters.Intervals++
+
+	if dIssued < g.cfg.MinIssued {
+		g.Counters.Holds++
+		return 0, 0, false
+	}
+	accuracy := float64(dUseful) / float64(dIssued)
+	pollution := float64(dUseless) / float64(dIssued)
+	lateFrac := 0.0
+	if dUseful+dLate > 0 {
+		lateFrac = float64(dLate) / float64(dUseful+dLate)
+	}
+
+	next := g.level
+	if accuracy < g.cfg.AccuracyLow || pollution > g.cfg.PollutionHigh {
+		g.bad++
+		if g.bad >= g.cfg.DownStreak {
+			next = g.level - 1
+			g.bad = 0
+		}
+	} else {
+		g.bad = 0
+		if lateFrac > g.cfg.LateHigh {
+			next = g.level + 1
+		}
+	}
+	if next < Conservative {
+		next = Conservative
+	}
+	if next >= numLevels {
+		next = numLevels - 1
+	}
+	if next == g.level {
+		g.Counters.Holds++
+		return 0, 0, false
+	}
+	if next > g.level {
+		g.Counters.StepUps++
+	} else {
+		g.Counters.StepDowns++
+	}
+	if len(g.transitions) < g.cfg.MaxTransitions || g.cfg.MaxTransitions <= 0 {
+		g.transitions = append(g.transitions, Transition{
+			Interval: g.Counters.Intervals, From: g.level, To: next,
+		})
+	}
+	g.level = next
+	k := g.cfg.Levels[next]
+	return k.Degree, k.Lookahead, true
+}
+
+func (g *Governor) resync(issued, useful, late, useless uint64) {
+	g.lastIssued, g.lastUseful = issued, useful
+	g.lastLate, g.lastUseless = late, useless
+}
+
+// Summary is the governor's end-of-run snapshot, carried on harness
+// results and serialised into service responses.
+type Summary struct {
+	Level       string       `json:"level"`
+	Intervals   uint64       `json:"intervals"`
+	StepUps     uint64       `json:"step_ups"`
+	StepDowns   uint64       `json:"step_downs"`
+	Holds       uint64       `json:"holds"`
+	Resyncs     uint64       `json:"resyncs,omitempty"`
+	Transitions []Transition `json:"transitions,omitempty"`
+}
+
+// Summary snapshots the governor's state and transition history.
+func (g *Governor) Summary() *Summary {
+	out := &Summary{
+		Level:     g.level.String(),
+		Intervals: g.Counters.Intervals,
+		StepUps:   g.Counters.StepUps,
+		StepDowns: g.Counters.StepDowns,
+		Holds:     g.Counters.Holds,
+		Resyncs:   g.Counters.Resyncs,
+	}
+	out.Transitions = append(out.Transitions, g.transitions...)
+	return out
+}
+
+// Schedule renders the transition history in a canonical text form
+// ("7:moderate>aggressive;12:aggressive>moderate"); determinism tests
+// byte-compare it across fresh runs.
+func (s *Summary) Schedule() string {
+	var b strings.Builder
+	for i, t := range s.Transitions {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d:%s>%s", t.Interval, t.From, t.To)
+	}
+	return b.String()
+}
+
+var _ prefetch.Controller = (*Governor)(nil)

@@ -1,0 +1,187 @@
+package feedback
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hprefetch/internal/isa"
+)
+
+// fakeSampler scripts one PFSignals sample per decision interval.
+type fakeSampler struct {
+	samples [][4]uint64
+	i       int
+}
+
+func (f *fakeSampler) PFSignals() (issued, useful, late, useless uint64) {
+	s := f.samples[f.i]
+	if f.i < len(f.samples)-1 {
+		f.i++
+	}
+	return s[0], s[1], s[2], s[3]
+}
+
+// tick advances the governor one full interval and returns its decision.
+func tick(t *testing.T, g *Governor) (degree, lookahead int, changed bool) {
+	t.Helper()
+	ev := &isa.BlockEvent{}
+	for i := uint64(0); i < g.cfg.IntervalBlocks-1; i++ {
+		if _, _, ch := g.Observe(ev); ch {
+			t.Fatal("governor decided off the interval boundary")
+		}
+	}
+	return g.Observe(ev)
+}
+
+// cfg returns a test config with single-interval hysteresis so each
+// state edge can be forced with one scripted sample.
+func cfg() Config {
+	c := DefaultConfig()
+	c.IntervalBlocks = 16
+	c.MinIssued = 10
+	c.DownStreak = 1
+	return c
+}
+
+// TestForcedTransitions drives every state-machine edge with scripted
+// samples: up from each level on lateness, down from each level on
+// pollution, clamping at both ends.
+func TestForcedTransitions(t *testing.T) {
+	late := [4]uint64{100, 50, 50, 0}  // lateFrac 0.5 ≫ LateHigh
+	clean := [4]uint64{100, 90, 0, 5}  // accurate, timely: hold
+	dirty := [4]uint64{100, 25, 0, 70} // pollution 0.7 > PollutionHigh
+	cum := func(rows ...[4]uint64) [][4]uint64 {
+		out := make([][4]uint64, len(rows))
+		var acc [4]uint64
+		for i, r := range rows {
+			for j := range acc {
+				acc[j] += r[j]
+			}
+			out[i] = acc
+		}
+		return out
+	}
+
+	steps := []struct {
+		name    string
+		sample  [4]uint64
+		want    Level
+		changed bool
+	}{
+		{"moderate>aggressive on late", late, Aggressive, true},
+		{"clamp at aggressive", late, Aggressive, false},
+		{"hold on clean", clean, Aggressive, false},
+		{"aggressive>moderate on pollution", dirty, Moderate, true},
+		{"moderate>conservative on pollution", dirty, Conservative, true},
+		{"clamp at conservative", dirty, Conservative, false},
+		{"conservative>moderate on late", late, Moderate, true},
+	}
+	var rows [][4]uint64
+	for _, s := range steps {
+		rows = append(rows, s.sample)
+	}
+	g := New(cfg(), &fakeSampler{samples: cum(rows...)})
+	for _, s := range steps {
+		deg, la, changed := tick(t, g)
+		if changed != s.changed || g.Level() != s.want {
+			t.Fatalf("%s: level %v changed %v, want %v/%v", s.name, g.Level(), changed, s.want, s.changed)
+		}
+		if changed {
+			k := g.cfg.Levels[s.want]
+			if deg != k.Degree || la != k.Lookahead {
+				t.Fatalf("%s: knobs (%d,%d), want %+v", s.name, deg, la, k)
+			}
+		}
+	}
+	sum := g.Summary()
+	if sum.StepUps != 2 || sum.StepDowns != 2 {
+		t.Fatalf("counters %+v, want 2 ups / 2 downs", sum)
+	}
+	wantSched := "1:moderate>aggressive;4:aggressive>moderate;5:moderate>conservative;7:conservative>moderate"
+	if got := sum.Schedule(); got != wantSched {
+		t.Fatalf("schedule %q, want %q", got, wantSched)
+	}
+}
+
+// TestDownStreakHysteresis: with DownStreak 2 a single bad interval is
+// absorbed (eviction-lag tolerance) and only a second consecutive one
+// steps down; a clean interval in between resets the streak.
+func TestDownStreakHysteresis(t *testing.T) {
+	c := cfg()
+	c.DownStreak = 2
+	g := New(c, &fakeSampler{samples: [][4]uint64{
+		{100, 25, 0, 70},   // dirty #1: absorbed
+		{200, 115, 0, 75},  // clean: streak resets
+		{300, 140, 0, 145}, // dirty #1 again
+		{400, 165, 0, 215}, // dirty #2: steps down
+	}})
+	for i, want := range []Level{Moderate, Moderate, Moderate, Conservative} {
+		tick(t, g)
+		if g.Level() != want {
+			t.Fatalf("after interval %d: level %v, want %v", i+1, g.Level(), want)
+		}
+	}
+}
+
+// TestQuietIntervalHolds: fewer than MinIssued new prefetches is too
+// little signal — the governor holds regardless of ratios.
+func TestQuietIntervalHolds(t *testing.T) {
+	g := New(cfg(), &fakeSampler{samples: [][4]uint64{{5, 0, 0, 5}}})
+	if _, _, changed := tick(t, g); changed || g.Level() != Moderate {
+		t.Fatalf("quiet interval moved the governor: %v", g.Level())
+	}
+	if g.Counters.Holds != 1 {
+		t.Fatalf("holds %d, want 1", g.Counters.Holds)
+	}
+}
+
+// TestResyncOnStatsReset: a backwards sample (harness stats reset at the
+// warmup boundary) resynchronises the shadow counters without deciding.
+func TestResyncOnStatsReset(t *testing.T) {
+	g := New(cfg(), &fakeSampler{samples: [][4]uint64{
+		{1000, 900, 0, 50}, // clean warmup interval: hold
+		{100, 50, 50, 0},   // backwards: reset happened
+		{200, 100, 100, 0}, // lateFrac 0.5 from the resynced base
+	}})
+	tick(t, g)
+	if g.Level() != Moderate {
+		t.Fatalf("warmup interval moved the governor: %v", g.Level())
+	}
+	if _, _, changed := tick(t, g); changed || g.Counters.Resyncs != 1 {
+		t.Fatalf("backwards sample decided (changed=%v resyncs=%d)", changed, g.Counters.Resyncs)
+	}
+	tick(t, g)
+	if g.Level() != Aggressive {
+		t.Fatalf("post-resync interval did not decide: %v", g.Level())
+	}
+}
+
+// TestSummaryIndependence: Summary snapshots are deep copies.
+func TestSummaryIndependence(t *testing.T) {
+	g := New(cfg(), &fakeSampler{samples: [][4]uint64{{100, 50, 50, 0}}})
+	tick(t, g)
+	a := g.Summary()
+	b := g.Summary()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two snapshots of the same governor differ")
+	}
+	a.Transitions[0].Interval = 999
+	if b.Transitions[0].Interval == 999 {
+		t.Fatal("summaries share transition backing storage")
+	}
+}
+
+// TestLevelString covers the diagnostic names.
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{
+		Conservative: "conservative", Moderate: "moderate", Aggressive: "aggressive",
+	} {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q", int(l), l.String())
+		}
+	}
+	if !strings.Contains(Level(7).String(), "7") {
+		t.Error("out-of-range level does not name itself")
+	}
+}

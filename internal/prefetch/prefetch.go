@@ -45,6 +45,12 @@ type Machine interface {
 	MetadataRead(addr isa.Addr, n int) uint64
 	// MetadataWrite models a metadata writeback of n bytes at addr.
 	MetadataWrite(addr isa.Addr, n int)
+	// PrefetchMapped is Prefetch gated on the ITLB: the request is issued
+	// only if the target block's page translation is already present, and
+	// withheld (counted as PFTLBDropped) otherwise. TLB-aware schemes use
+	// this instead of Prefetch so translation-blocked prefetches never
+	// reach the fill path.
+	PrefetchMapped(b isa.Block) bool
 }
 
 // Prefetcher is an instruction prefetcher under evaluation.
@@ -65,6 +71,80 @@ type Prefetcher interface {
 	// storage-cost comparisons in the paper.
 	StorageBits() int
 }
+
+// Tunable is a Prefetcher whose aggressiveness can be retargeted at run
+// time. Degree is the scheme's fan-out per trigger (blocks per miss for
+// GHB, bundle burst budget for Hierarchical); lookahead is how far ahead
+// of the trigger it starts (history skip for GHB, unpaced replay
+// segments for Hierarchical). Each scheme maps the pair onto its own
+// knobs; values are clamped scheme-side, so controllers need not know
+// per-scheme bounds.
+type Tunable interface {
+	Prefetcher
+	SetAggressiveness(degree, lookahead int)
+}
+
+// Controller decides prefetch aggressiveness from observed behaviour.
+// Observe is called once per retired fetch block; when it returns
+// changed=true the new (degree, lookahead) pair is applied to the
+// governed prefetcher. Knobs returns the controller's current operating
+// point, applied once at attach time.
+type Controller interface {
+	Observe(ev *isa.BlockEvent) (degree, lookahead int, changed bool)
+	Knobs() (degree, lookahead int)
+	// StorageBits is the controller's own on-chip cost (interval
+	// counters, state register), added to the governed scheme's budget.
+	StorageBits() int
+}
+
+// Governed wraps a Tunable prefetcher with a Controller: the controller
+// observes the retired stream alongside the scheme and retunes its
+// degree/lookahead whenever the feedback calls for it. Schemes opt into
+// adaptive throttling by being wrapped — no per-scheme surgery.
+type Governed struct {
+	inner Tunable
+	ctrl  Controller
+}
+
+// NewGoverned attaches ctrl to inner and applies the controller's
+// initial operating point immediately.
+func NewGoverned(inner Tunable, ctrl Controller) *Governed {
+	g := &Governed{inner: inner, ctrl: ctrl}
+	d, l := ctrl.Knobs()
+	inner.SetAggressiveness(d, l)
+	return g
+}
+
+// Name reports the governed scheme's own name; rows in tables stay
+// recognisable whether or not a governor is attached.
+func (g *Governed) Name() string { return g.inner.Name() }
+
+// OnRetire feeds the controller first — so a knob change decided on this
+// block applies before the scheme reacts to it — then the scheme.
+func (g *Governed) OnRetire(ev *isa.BlockEvent) {
+	if d, l, changed := g.ctrl.Observe(ev); changed {
+		g.inner.SetAggressiveness(d, l)
+	}
+	g.inner.OnRetire(ev)
+}
+
+// OnResteer forwards pipeline flushes to the scheme.
+func (g *Governed) OnResteer() { g.inner.OnResteer() }
+
+// OnDemandMiss forwards demand misses to the scheme.
+func (g *Governed) OnDemandMiss(b isa.Block, latency uint64) {
+	g.inner.OnDemandMiss(b, latency)
+}
+
+// StorageBits is the scheme's budget plus the controller's counters.
+func (g *Governed) StorageBits() int {
+	return g.inner.StorageBits() + g.ctrl.StorageBits()
+}
+
+// Inner returns the wrapped prefetcher (for tests and diagnostics).
+func (g *Governed) Inner() Tunable { return g.inner }
+
+var _ Prefetcher = (*Governed)(nil)
 
 // RegionBlocks is the spatial-region span used throughout the paper: 32
 // contiguous cache blocks per region.

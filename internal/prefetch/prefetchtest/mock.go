@@ -15,6 +15,8 @@ type MockMachine struct {
 	BlockSeqV  uint64
 	InstrSeqV  uint64
 	ResidentV  map[isa.Block]bool
+	MappedV    map[uint64]bool // pages with an ITLB translation
+	TLBDrops   int             // PrefetchMapped calls withheld
 	Issued     []isa.Block
 	Space      int
 	MissLat    uint64
@@ -28,6 +30,7 @@ type MockMachine struct {
 func NewMockMachine() *MockMachine {
 	return &MockMachine{
 		ResidentV: map[isa.Block]bool{},
+		MappedV:   map[uint64]bool{},
 		AgoBlocks: map[uint64]isa.Block{},
 		Space:     1 << 30,
 		MissLat:   50 * 48,
@@ -47,6 +50,16 @@ func (m *MockMachine) Prefetch(b isa.Block) bool {
 	}
 	m.Issued = append(m.Issued, b)
 	return true
+}
+
+// PrefetchMapped mirrors the machine's TLB-gated issue path: blocks on
+// pages absent from MappedV are withheld and counted in TLBDrops.
+func (m *MockMachine) PrefetchMapped(b isa.Block) bool {
+	if !m.MappedV[uint64(b.Page())] {
+		m.TLBDrops++
+		return false
+	}
+	return m.Prefetch(b)
 }
 
 func (m *MockMachine) PrefetchSpace() int { return m.Space }

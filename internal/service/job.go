@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hprefetch/internal/harness"
+	"hprefetch/internal/prefetch/feedback"
 )
 
 // JobState is a job's lifecycle position.
@@ -73,6 +74,13 @@ type RunRequest struct {
 	// whose shard reported a quarantined corpus object, so the retry
 	// cannot trip over shared damaged storage again.
 	NoCorpus bool `json:"no_corpus,omitempty"`
+	// PFDegree overrides the scheme's static prefetch degree (GHB issue
+	// degree, Hierarchical replay burst budget); 0 keeps the default.
+	PFDegree int `json:"pf_degree,omitempty"`
+	// Governed wraps the scheme's prefetcher with the feedback-directed
+	// throttling governor (adaptive degree/lookahead). Schemes without a
+	// tunable prefetcher reject it at execution.
+	Governed bool `json:"governed,omitempty"`
 }
 
 // RunResult summarises a completed simulation for the API.
@@ -108,6 +116,14 @@ type RunResult struct {
 	// re-record) — the statistics are identical to a clean run's.
 	TraceSource  string `json:"trace_source,omitempty"`
 	CorpusHealed bool   `json:"corpus_healed,omitempty"`
+	// TLB-aware prefetch metrics: the share of issued prefetches whose
+	// page missed the ITLB at issue, and the count a TLB-aware scheme
+	// withheld instead of issuing blind.
+	TLBMissFraction float64 `json:"tlb_miss_fraction,omitempty"`
+	TLBDropped      uint64  `json:"tlb_dropped,omitempty"`
+	// Governor is the feedback governor's end-of-run summary (level,
+	// transition counters, schedule); absent on ungoverned runs.
+	Governor *feedback.Summary `json:"governor,omitempty"`
 }
 
 // TableResult is a rendered experiment table for the API.

@@ -44,11 +44,13 @@ const journalMagic = 0x4850_4A4C_0001_0001
 // (fleet sweep jobs) and the opAssign backend-assignment record; v4
 // added RunRequest.Sample (interval-sampled runs); v5 added
 // RunRequest.NoCorpus (the coordinator's corpus-bypass re-dispatch
+// flag); v6 added RunRequest.PFDegree and RunRequest.Governed (the
+// feedback-throttling subsystem's static-degree override and adaptive
 // flag). Decoding is exact-consumption, so journals from other
 // versions are rejected at startup — with an error naming both
 // versions and the remediation — rather than misread (operators drain
 // or delete the old journal before upgrading).
-const journalVersion = 5
+const journalVersion = 6
 
 const journalHeaderSize = 10
 
@@ -247,6 +249,8 @@ func encodeJournalPayload(rec journalRecord) ([]byte, error) {
 		}
 		w.str(q.Sample)
 		w.boolean(q.NoCorpus)
+		w.i64(int64(q.PFDegree))
+		w.boolean(q.Governed)
 	case opStart:
 		w.u32(rec.Attempt)
 	case opFinish:
@@ -304,6 +308,8 @@ func decodeJournalPayload(payload []byte) (journalRecord, error) {
 		}
 		q.Sample = r.str()
 		q.NoCorpus = r.boolean()
+		q.PFDegree = int(r.i64())
+		q.Governed = r.boolean()
 	case opStart:
 		rec.Attempt = r.u32()
 	case opFinish:

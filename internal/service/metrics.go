@@ -77,6 +77,12 @@ type Metrics struct {
 	JournalErrors   atomic.Uint64 // best-effort journal appends that failed
 	BreakerRejected atomic.Uint64 // submissions bounced with 503 (breaker open)
 
+	// Feedback-governor aggregates across every governed run served:
+	// decision intervals elapsed and state transitions in each direction.
+	GovIntervals atomic.Uint64
+	GovStepUps   atomic.Uint64
+	GovStepDowns atomic.Uint64
+
 	mu sync.Mutex
 	// latency histograms keyed by label: the scheme for run jobs,
 	// "experiment:<id>" for experiment jobs.
@@ -145,10 +151,17 @@ type Snapshot struct {
 	Workers       int           `json:"workers"`
 	Breaker       BreakerStatus `json:"breaker"`
 	JournalErrors uint64        `json:"journal_errors"`
+	// Governor aggregates feedback-throttling activity over all governed
+	// runs this server executed.
+	Governor struct {
+		Intervals uint64 `json:"intervals"`
+		StepUps   uint64 `json:"step_ups"`
+		StepDowns uint64 `json:"step_downs"`
+	} `json:"governor"`
 	// LatencyP90MS is the cross-label p90 execution latency that drives
 	// Retry-After on load shedding.
 	LatencyP90MS float64 `json:"latency_p90_ms"`
-	Cache      struct {
+	Cache        struct {
 		Hits        uint64 `json:"hits"`
 		SharedWaits uint64 `json:"shared_waits"`
 		Misses      uint64 `json:"misses"`
@@ -173,6 +186,9 @@ func (m *Metrics) Snapshot(queueDepth, workers int, cache harness.RunnerStats, b
 	s.Jobs.WorkerPanics = m.WorkerPanics.Load()
 	s.Jobs.BreakerRejected = m.BreakerRejected.Load()
 	s.JournalErrors = m.JournalErrors.Load()
+	s.Governor.Intervals = m.GovIntervals.Load()
+	s.Governor.StepUps = m.GovStepUps.Load()
+	s.Governor.StepDowns = m.GovStepDowns.Load()
 	s.QueueDepth = queueDepth
 	s.Workers = workers
 	s.Breaker = breaker
@@ -221,6 +237,9 @@ func (s Snapshot) Prometheus() string {
 	counter("hpserved_worker_panics_total", "Panics recovered in the worker pool.", s.Jobs.WorkerPanics)
 	counter("hpserved_jobs_breaker_rejected_total", "Submissions rejected with 503 (circuit breaker open).", s.Jobs.BreakerRejected)
 	counter("hpserved_journal_errors_total", "Best-effort journal appends that failed.", s.JournalErrors)
+	counter("hpserved_governor_intervals_total", "Feedback-governor decision intervals across governed runs.", s.Governor.Intervals)
+	counter("hpserved_governor_step_ups_total", "Feedback-governor transitions toward aggressive.", s.Governor.StepUps)
+	counter("hpserved_governor_step_downs_total", "Feedback-governor transitions toward conservative.", s.Governor.StepDowns)
 	counter("hpserved_breaker_opens_total", "Circuit breaker closed-to-open transitions.", s.Breaker.Opens)
 	open := 0
 	if s.Breaker.State == "open" {

@@ -265,7 +265,7 @@ func (s *Server) jobFromReplay(rj ReplayJob) (*Job, error) {
 			req.Scheme = string(harness.SchemeHier)
 		}
 		if !validSchemes()[req.Scheme] {
-			return nil, fmt.Errorf("unknown scheme %q", req.Scheme)
+			return nil, fmt.Errorf("unknown scheme %q (known: %s)", req.Scheme, harness.SchemeNames())
 		}
 	case "experiment":
 		if !experimentKnown(req.Experiment) {
@@ -554,6 +554,9 @@ func ComputeRunResult(ctx context.Context, workload, scheme string, rc harness.R
 		StatsDigest:      r.Stats.Digest(),
 		TraceSource:      r.TraceSource,
 		CorpusHealed:     r.CorpusHealed,
+		TLBMissFraction:  r.Stats.PFTLBMissFraction(),
+		TLBDropped:       r.Stats.PFTLBDropped,
+		Governor:         r.Governor,
 	}
 	if r.Sample != nil {
 		out.SampleIntervals = r.Sample.Intervals
@@ -577,6 +580,11 @@ func (s *Server) execRun(ctx context.Context, j *Job) error {
 	out, err := ComputeRunResult(ctx, j.Req.Workload, j.Req.Scheme, j.rc)
 	if err != nil {
 		return err
+	}
+	if out.Governor != nil {
+		s.metrics.GovIntervals.Add(out.Governor.Intervals)
+		s.metrics.GovStepUps.Add(out.Governor.StepUps)
+		s.metrics.GovStepDowns.Add(out.Governor.StepDowns)
 	}
 	j.mu.Lock()
 	j.run = out
@@ -636,10 +644,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// validSchemes is the accepted Scheme set.
+// validSchemes is the accepted Scheme set — the harness registry, so a
+// scheme added there is immediately servable.
 func validSchemes() map[string]bool {
-	out := map[string]bool{string(harness.SchemePerfect): true}
-	for _, sc := range harness.Schemes() {
+	out := map[string]bool{}
+	for _, sc := range harness.AllSchemes() {
 		out[string(sc)] = true
 	}
 	return out
@@ -703,6 +712,11 @@ func (s *Server) buildRunConfig(req *RunRequest) (harness.RunConfig, time.Durati
 		}
 		rc.Sample = sp
 	}
+	if req.PFDegree < 0 {
+		return rc, 0, fmt.Errorf("pf_degree must be non-negative, got %d", req.PFDegree)
+	}
+	rc.PFDegree = req.PFDegree
+	rc.Governed = req.Governed
 	if s.cfg.CorpusDir != "" && !req.NoCorpus {
 		// Corpus resolution is a fallback, not an override: an explicit
 		// trace_path wins, and the harness skips the corpus for faulted
@@ -834,7 +848,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		req.Scheme = string(harness.SchemeHier)
 	}
 	if !validSchemes()[req.Scheme] {
-		writeError(w, http.StatusBadRequest, "unknown scheme %q", req.Scheme)
+		writeError(w, http.StatusBadRequest, "unknown scheme %q (known: %s)", req.Scheme, harness.SchemeNames())
 		return
 	}
 	rc, timeout, err := s.buildRunConfig(&req)

@@ -421,7 +421,7 @@ func (m *Machine) SkipFunctional(n uint64) error {
 	m.blocked = notBlocked
 	m.specSynced = false
 	m.mshr.Drain(^uint64(0), func(e *cache.MSHR) {
-		m.installL1I(e.Block, e.Origin, e.IssueSeq, false)
+		m.installL1I(e.Block, e.Origin, e.IssueSeq, false, false)
 	})
 	m.pfQueue = m.pfQueue[:0]
 	if m.marker != nil {
@@ -821,7 +821,7 @@ func (m *Machine) demandAccess(blk isa.Block) {
 		if e.FillAt <= m.now {
 			// Fill already completed; install lazily and hit.
 			m.mshr.Remove(blk)
-			m.installL1I(blk, e.Origin, e.IssueSeq, false)
+			m.installL1I(blk, e.Origin, e.IssueSeq, false, true)
 			m.st.L1IDemandHits++
 			return
 		}
@@ -832,7 +832,7 @@ func (m *Machine) demandAccess(blk isa.Block) {
 			m.LateHook(blk, e.Origin, e.Level)
 		}
 		m.mshr.Remove(blk)
-		m.installL1I(blk, e.Origin, e.IssueSeq, true)
+		m.installL1I(blk, e.Origin, e.IssueSeq, true, true)
 		m.st.L1ILateHits++
 		switch e.Origin {
 		case cache.OriginFDIP:
@@ -894,10 +894,18 @@ func (m *Machine) recordUse(meta *cache.LineMeta, late bool) {
 }
 
 // installL1I inserts a filled line, handling eviction bookkeeping.
-func (m *Machine) installL1I(blk isa.Block, origin cache.Origin, issueSeq uint64, late bool) {
+// demand reports that a demand fetch is consuming the line right now
+// (completed-in-place or late-hit installs): only those count as use.
+// Fills retired by the background drain stay unused until a demand
+// fetch actually hits them — or are evicted unused, which is what the
+// FDIPUseless/PFUseless pollution counters measure.
+func (m *Machine) installL1I(blk isa.Block, origin cache.Origin, issueSeq uint64, late, demand bool) {
 	meta := cache.LineMeta{Origin: origin, IssueSeq: issueSeq}
 	_, victim, evicted := m.l1i.Insert(uint64(blk), meta)
 	m.noteEviction(victim, evicted)
+	if !demand {
+		return
+	}
 	if p, ok := m.l1i.Peek(uint64(blk)); ok {
 		m.recordUse(p, late)
 	}
@@ -1041,6 +1049,12 @@ func (m *Machine) issueFillSeq(blk isa.Block, origin cache.Origin, earliest uint
 	// rather than stalling fetch.
 	page := uint64(blk.Page())
 	if !m.itlb.Contains(page) {
+		if origin == cache.OriginPF {
+			// Translation-blocked prefetch (Jamet et al.): the fill went
+			// out without a resident ITLB entry — a failure class the
+			// TLB-aware schemes avoid by gating on PrefetchMapped.
+			m.st.PFTLBMiss++
+		}
 		m.itlb.Insert(page, cache.LineMeta{})
 	}
 
@@ -1075,7 +1089,7 @@ func (m *Machine) issueFillSeq(blk isa.Block, origin cache.Origin, earliest uint
 // drainMSHR retires completed fills into the L1-I.
 func (m *Machine) drainMSHR() {
 	m.mshr.Drain(m.now, func(e *cache.MSHR) {
-		m.installL1I(e.Block, e.Origin, e.IssueSeq, false)
+		m.installL1I(e.Block, e.Origin, e.IssueSeq, false, false)
 	})
 }
 
@@ -1161,6 +1175,20 @@ func (m *Machine) Prefetch(blk isa.Block) bool {
 	return true
 }
 
+// PrefetchMapped is the TLB-gated issue path: when the target block's
+// page has no ITLB translation the prefetch is withheld and counted in
+// PFTLBDropped instead of reaching the fill path.
+func (m *Machine) PrefetchMapped(blk isa.Block) bool {
+	if m.prm.PerfectL1I {
+		return false
+	}
+	if !m.itlb.Contains(uint64(blk.Page())) {
+		m.st.PFTLBDropped++
+		return false
+	}
+	return m.Prefetch(blk)
+}
+
 // PrefetchSpace returns how many more Prefetch calls can currently be
 // accepted without dropping.
 func (m *Machine) PrefetchSpace() int {
@@ -1176,6 +1204,14 @@ func (m *Machine) drainPFQueue() {
 			m.st.PFIssued++
 		}
 	}
+}
+
+// PFSignals exposes the feedback counters a throttling governor samples:
+// issued, useful, late and useless evaluated-prefetcher events so far.
+// Counts are monotonic within a measurement window; ResetStats restarts
+// them (governors must resync when a sample goes backwards).
+func (m *Machine) PFSignals() (issued, useful, late, useless uint64) {
+	return m.st.PFIssued, m.st.PFUseful, m.st.LatePF, m.st.PFUseless
 }
 
 // AvgMissLatency returns the demand miss latency estimate (scaled).

@@ -58,6 +58,8 @@ type Stats struct {
 	PFDistCount  uint64
 	PFDistHist   []uint64 // per DistanceBuckets: uses at that distance
 	PFDistUseful []uint64 // useful at that distance
+	PFTLBMiss    uint64   // issued PF whose page missed the ITLB at issue
+	PFTLBDropped uint64   // PF withheld by a TLB-aware scheme (no translation)
 
 	// Coverage bookkeeping at the L2 (long-range view).
 	L2CoveredByPF uint64 // demand L2 hits on PF-installed lines
@@ -149,6 +151,8 @@ func (s *Stats) AddFrom(o *Stats) {
 			s.PFDistUseful[i] += o.PFDistUseful[i]
 		}
 	}
+	s.PFTLBMiss += o.PFTLBMiss
+	s.PFTLBDropped += o.PFTLBDropped
 	s.L2CoveredByPF += o.L2CoveredByPF
 	s.L2Beyond += o.L2Beyond
 	s.FaultPFDrops += o.FaultPFDrops
@@ -242,6 +246,16 @@ func (s *Stats) PFLateFraction() float64 {
 		return 0
 	}
 	return float64(s.LatePF) / float64(den)
+}
+
+// PFTLBMissFraction returns the share of issued prefetches whose target
+// page was absent from the ITLB at issue — translation-blocked prefetches
+// (Jamet et al.), a failure class distinct from ordinary uselessness.
+func (s *Stats) PFTLBMissFraction() float64 {
+	if s.PFIssued == 0 {
+		return 0
+	}
+	return float64(s.PFTLBMiss) / float64(s.PFIssued)
 }
 
 // PFAvgDistance returns the mean prefetch distance in blocks at first use.

@@ -122,3 +122,78 @@ func TestReqStallPercentileMonotonic(t *testing.T) {
 		t.Errorf("q=1 = %v, want the worst observed request (3000000)", worst)
 	}
 }
+
+// TestRatioAccessorsZeroDenominator pins every derived-ratio accessor to
+// a finite zero on a zero-valued Stats: a scheme that never issues a
+// prefetch (or a run that retires no instruction) must render as 0, not
+// NaN/Inf, in tables, digests-adjacent JSON and the serving layer. The
+// numerator variants prove the guards sit on the denominator, not on
+// accidental all-zero structs.
+func TestRatioAccessorsZeroDenominator(t *testing.T) {
+	accessors := []struct {
+		name string
+		get  func(*Stats) float64
+	}{
+		{"IPC", (*Stats).IPC},
+		{"MPKI", (*Stats).MPKI},
+		{"L1IMPKI", (*Stats).L1IMPKI},
+		{"PFAccuracy", (*Stats).PFAccuracy},
+		{"PFCoverageL1", (*Stats).PFCoverageL1},
+		{"PFCoverageL2", (*Stats).PFCoverageL2},
+		{"PFLateFraction", (*Stats).PFLateFraction},
+		{"PFTLBMissFraction", (*Stats).PFTLBMissFraction},
+		{"PFAvgDistance", (*Stats).PFAvgDistance},
+		{"AvgMissLatencyCycles", (*Stats).AvgMissLatencyCycles},
+		{"ReqStallMeanCycles", (*Stats).ReqStallMeanCycles},
+		{"ReqStallP99", func(s *Stats) float64 { return s.ReqStallPercentileCycles(0.99) }},
+	}
+
+	cases := []struct {
+		name string
+		st   Stats
+	}{
+		{"zero value", Stats{}},
+		// Counters that look like numerators set without their
+		// denominators: the exact states a half-initialised or
+		// partially-deserialised Stats lands in.
+		{"instructions without cycles", Stats{Instructions: 1000}},
+		{"mispredicts without instructions", Stats{CondMispredicts: 5, RASMispredicts: 3}},
+		{"useful without issued", Stats{PFUseful: 10}},
+		{"tlb misses without issued", Stats{PFTLBMiss: 4}},
+		{"late without useful", Stats{LatePF: 7}},
+		{"distance sum without count", Stats{PFDistSum: 123}},
+		{"latency sums without serves", Stats{LatencyL2Sum: 99, LatencyMemSum: 7}},
+		{"stall sum without requests", Stats{ReqStallSum: 55}},
+	}
+	for _, tc := range cases {
+		for _, a := range accessors {
+			got := a.get(&tc.st)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("%s/%s = %v, want finite", tc.name, a.name, got)
+			}
+		}
+	}
+
+	// The guards must not clamp real ratios: a populated Stats still
+	// divides.
+	full := Stats{
+		Instructions: 2000, ScaledCycles: 1000 * CycleScale,
+		PFIssued: 100, PFUseful: 60, LatePF: 20, PFTLBMiss: 10,
+		PFDistSum: 500, PFDistCount: 50,
+	}
+	if got := full.IPC(); got != 2 {
+		t.Errorf("IPC = %v, want 2", got)
+	}
+	if got := full.PFAccuracy(); got != 0.6 {
+		t.Errorf("PFAccuracy = %v, want 0.6", got)
+	}
+	if got := full.PFLateFraction(); got != 0.25 {
+		t.Errorf("PFLateFraction = %v, want 0.25", got)
+	}
+	if got := full.PFTLBMissFraction(); got != 0.1 {
+		t.Errorf("PFTLBMissFraction = %v, want 0.1", got)
+	}
+	if got := full.PFAvgDistance(); got != 10 {
+		t.Errorf("PFAvgDistance = %v, want 10", got)
+	}
+}
